@@ -1,0 +1,45 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment (datasets are simulated once and cached under
+``.cache/datasets``), *prints* the figure's rows, writes them to
+``results/<experiment>.txt``, and asserts the qualitative shape the paper
+reports.  Timings are recorded via pytest-benchmark.
+
+First run generates ~2500 simulated chat clips (~25 minutes on one core);
+subsequent runs load everything from the dataset cache.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.dataset import build_dataset
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def main_dataset():
+    """The paper's headline dataset: 10 users x 2 roles x 40 clips."""
+    return build_dataset(clips_per_role=40)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer that both prints a figure's rows and persists them."""
+
+    def _report(name: str, lines: list[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines)
+        print(f"\n=== {name} ===\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

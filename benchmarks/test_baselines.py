@@ -1,0 +1,168 @@
+"""Baseline comparison — the paper's Sec. X arguments, measured.
+
+* The naive cross-correlation detector works but needs a hand-tuned
+  global threshold and separates less sharply than the paper's features.
+* The artifact detector needs attacker training data and collapses when
+  the attacker's synthesis quality improves beyond the training set.
+* FaceLive-style sensor correlation is fully bypassed by forged sensors.
+"""
+
+import numpy as np
+
+from repro.baselines.artifact import ArtifactDetector
+from repro.baselines.crosscorr import CrossCorrelationDetector
+from repro.baselines.facelive import FaceLiveDetector, SensorChannel
+from repro.core.lof import LocalOutlierFactor
+from repro.experiments.dataset import ATTACK, GENUINE
+
+from .conftest import run_once
+
+
+def test_baseline_crosscorr_vs_lof(benchmark, main_dataset, report):
+    def experiment():
+        crosscorr = CrossCorrelationDetector()
+        genuine_scores, attack_scores = [], []
+        lof_genuine, lof_attack = [], []
+        rng = np.random.default_rng(7)
+        for user in main_dataset.users[:4]:
+            genuine_clips = main_dataset.select(user, GENUINE)
+            attack_clips = main_dataset.select(user, ATTACK)
+            for clip in genuine_clips[:20]:
+                genuine_scores.append(
+                    crosscorr.score(clip.transmitted_luminance, clip.received_luminance)
+                )
+            for clip in attack_clips[:20]:
+                attack_scores.append(
+                    crosscorr.score(clip.transmitted_luminance, clip.received_luminance)
+                )
+            features = main_dataset.features_of(user, GENUINE)
+            perm = rng.permutation(features.shape[0])
+            model = LocalOutlierFactor(5).fit(features[perm[:20]])
+            lof_genuine.extend(model.score_samples(features[perm[20:]]))
+            lof_attack.extend(
+                model.score_samples(main_dataset.features_of(user, ATTACK)[:20])
+            )
+        return (
+            np.array(genuine_scores),
+            np.array(attack_scores),
+            np.array(lof_genuine),
+            np.array(lof_attack),
+        )
+
+    cc_g, cc_a, lof_g, lof_a = run_once(benchmark, experiment)
+
+    # Accuracy of cross-correlation at its best single threshold.
+    thresholds = np.linspace(-1, 1, 201)
+    cc_acc = max(
+        ((cc_g >= t).mean() + (cc_a < t).mean()) / 2 for t in thresholds
+    )
+    lof_acc = ((lof_g <= 3.0).mean() + (lof_a > 3.0).mean()) / 2
+
+    report(
+        "baseline_crosscorr",
+        [
+            "Baseline: naive cross-correlation vs paper pipeline (LOF)",
+            f"crosscorr genuine median : {np.median(cc_g):6.3f}",
+            f"crosscorr attack median  : {np.median(cc_a):6.3f}",
+            f"crosscorr best accuracy  : {cc_acc:6.3f} (oracle threshold)",
+            f"paper pipeline accuracy  : {lof_acc:6.3f} (fixed tau=3)",
+        ],
+    )
+    # The baseline does separate classes (the luminance signal is real
+    # and strong in clean conditions, so even naive correlation works)...
+    assert np.median(cc_g) > np.median(cc_a)
+    assert cc_acc > 0.8
+    # ...and the paper's pipeline stays competitive WITHOUT any
+    # per-deployment threshold tuning (the baseline's number above uses
+    # an oracle threshold chosen on the test data itself).
+    assert lof_acc >= cc_acc - 0.06
+    assert lof_acc > 0.9
+
+
+def test_baseline_artifact_generalization_gap(benchmark, main_dataset, report):
+    """Train the artifact detector on crude fakes, test on high-quality
+    fakes: accuracy collapses.  The challenge-response defense does not
+    care about synthesis quality at all."""
+    from repro.experiments.profiles import Environment
+    from repro.experiments.simulate import simulate_attack_session, simulate_genuine_session
+    from repro.baselines.artifact import artifact_features
+
+    env = Environment(frame_size=(72, 72), verifier_frame_size=(48, 48))
+
+    def experiment():
+        genuine = [
+            artifact_features(
+                simulate_genuine_session(duration_s=15.0, seed=3000 + i, env=env).received
+            )
+            for i in range(8)
+        ]
+        crude = [
+            artifact_features(
+                simulate_attack_session(
+                    duration_s=15.0, seed=3100 + i, env=env, artifact_level=0.05
+                ).received
+            )
+            for i in range(8)
+        ]
+        polished = [
+            artifact_features(
+                simulate_attack_session(
+                    duration_s=15.0, seed=3200 + i, env=env, artifact_level=0.004
+                ).received
+            )
+            for i in range(8)
+        ]
+        detector = ArtifactDetector().fit(np.array(genuine[:6]), np.array(crude[:6]))
+        catch_crude = np.mean([not detector.is_live(f) for f in crude[6:] + crude[:6]])
+        catch_polished = np.mean([not detector.is_live(f) for f in polished])
+        return float(catch_crude), float(catch_polished)
+
+    catch_crude, catch_polished = run_once(benchmark, experiment)
+    report(
+        "baseline_artifact",
+        [
+            "Baseline: artifact detector across synthesis quality",
+            f"catches crude fakes (trained on)   : {catch_crude:6.3f}",
+            f"catches polished fakes (unseen)    : {catch_polished:6.3f}",
+            "expected: accuracy collapses on better synthesis",
+        ],
+    )
+    assert catch_crude > catch_polished
+
+
+def test_baseline_facelive_sensor_forgery(benchmark, report):
+    """FaceLive accepts every attacker that forges its sensor channel."""
+
+    def experiment():
+        rng = np.random.default_rng(11)
+        detector = FaceLiveDetector()
+        honest_pass = 0
+        forged_pass = 0
+        trials = 20
+        for i in range(trials):
+            t = np.arange(150) / 10.0
+            motion = 3.0 * np.sin(2 * np.pi * rng.uniform(0.1, 0.3) * t + rng.uniform(0, 6))
+            motion = motion + rng.normal(0, 0.1, t.size)
+            honest = SensorChannel.honest(motion, seed=100 + i)
+            if detector.is_live(motion, honest):
+                honest_pass += 1
+            fake_motion = 3.0 * np.sin(
+                2 * np.pi * rng.uniform(0.1, 0.3) * t + rng.uniform(0, 6)
+            )
+            forged = SensorChannel.forged(fake_motion)
+            if detector.is_live(fake_motion, forged):
+                forged_pass += 1
+        return honest_pass / trials, forged_pass / trials
+
+    honest_rate, forged_rate = run_once(benchmark, experiment)
+    report(
+        "baseline_facelive",
+        [
+            "Baseline: FaceLive-style motion correlation",
+            f"honest provers accepted          : {honest_rate:6.3f}",
+            f"sensor-forging attackers accepted: {forged_rate:6.3f}",
+            "paper's criticism: the attacker controls both channels",
+        ],
+    )
+    assert honest_rate > 0.9
+    assert forged_rate > 0.95  # the attack bypasses the check entirely

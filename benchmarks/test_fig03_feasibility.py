@@ -1,0 +1,92 @@
+"""Fig. 3 — feasibility study.
+
+Paper: a video flashing black/white at 0.2 Hz on a Dell 27" LED monitor;
+the volunteer's nasal-bridge luminance rises from ~105 (black) to ~132
+(white).  We reproduce the exact protocol: render the prover under the
+screen illuminance each extreme induces and read the nasal ROI luminance
+through the real landmark-detection path.
+"""
+
+import numpy as np
+
+from repro.camera.camera import Camera
+from repro.camera.exposure import AutoExposureController
+from repro.camera.metering import LightMeter, MeteringMode
+from repro.camera.sensor import ImageSensor
+from repro.core.luminance import roi_mean_luminance
+from repro.core.roi import nasal_bridge_roi
+from repro.screen.display import DELL_27_LED
+from repro.screen.illumination import screen_illuminance
+from repro.vision.expression import ExpressionTrack
+from repro.vision.face_model import make_face
+from repro.vision.landmarks import LandmarkDetector
+from repro.vision.renderer import FaceRenderer
+
+from .conftest import run_once
+
+AMBIENT_LUX = 50.0
+DISTANCE_M = 0.5
+
+
+def _nasal_luminance_under(display_pixel: float) -> float:
+    """Mean nasal-ROI luminance while the screen shows a uniform level."""
+    face = make_face("volunteer", tone="light", rng=np.random.default_rng(1))
+    renderer = FaceRenderer(face, height=96, width=96, seed=2)
+    track = ExpressionTrack(seed=3, movement_amplitude=0.01)
+    camera = Camera(
+        sensor=ImageSensor(rng=np.random.default_rng(4)),
+        meter=LightMeter(mode=MeteringMode.MULTI_ZONE),
+        auto_exposure=AutoExposureController(target_level=0.22),
+    )
+    detector = LandmarkDetector(seed=5)
+
+    nits = DELL_27_LED.emitted_luminance(display_pixel)
+    screen_lux = screen_illuminance(nits, DELL_27_LED.area_m2, DISTANCE_M)
+
+    # Converge + lock exposure on mid-gray first (as the phone would be).
+    mid_nits = DELL_27_LED.emitted_luminance(128.0)
+    mid_lux = screen_illuminance(mid_nits, DELL_27_LED.area_m2, DISTANCE_M)
+    for i in range(15):
+        result = renderer.render(
+            track.sample(i * 0.1),
+            face_illuminance_lux=AMBIENT_LUX + mid_lux,
+            ambient_lux=AMBIENT_LUX,
+            screen_lux=mid_lux,
+        )
+        camera.capture(result.radiance, timestamp=i * 0.1)
+    camera.auto_exposure.lock()
+
+    values = []
+    for i in range(15, 45):
+        t = i * 0.1
+        result = renderer.render(
+            track.sample(t),
+            face_illuminance_lux=AMBIENT_LUX + screen_lux,
+            ambient_lux=AMBIENT_LUX,
+            screen_lux=screen_lux,
+        )
+        frame = camera.capture(result.radiance, timestamp=t)
+        landmarks = detector.detect(frame.pixels)
+        assert landmarks is not None
+        values.append(roi_mean_luminance(frame, nasal_bridge_roi(landmarks)))
+    return float(np.mean(values))
+
+
+def test_fig03_feasibility(benchmark, report):
+    def experiment():
+        return _nasal_luminance_under(0.0), _nasal_luminance_under(255.0)
+
+    black, white = run_once(benchmark, experiment)
+    report(
+        "fig03_feasibility",
+        [
+            "Fig. 3 feasibility: nasal-bridge luminance vs screen color",
+            f"screen black : {black:7.1f}   (paper: ~105)",
+            f"screen white : {white:7.1f}   (paper: ~132)",
+            f"delta        : {white - black:7.1f}   (paper: ~27)",
+        ],
+    )
+    # Shape: white clearly brighter, by tens of 8-bit levels, no clipping.
+    assert white > black + 10.0
+    assert white < 250.0
+    assert black > 40.0

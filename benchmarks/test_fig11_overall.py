@@ -1,0 +1,40 @@
+"""Fig. 11 — overall single-detection performance.
+
+Paper: average TAR 92.5 % when each volunteer's classifier is trained on
+their own clips, 92.8 % when trained on *another* volunteer's clips, and
+average TRR 94.4 % against ICFace reenactment — the headline claim that
+the system needs no per-user and no attacker training data.
+"""
+
+from repro.experiments.runner import run_overall
+
+from .conftest import run_once
+
+
+def test_fig11_overall(benchmark, main_dataset, report):
+    result = run_once(
+        benchmark, lambda: run_overall(main_dataset, rounds=20, train_size=20)
+    )
+
+    lines = [
+        "Fig. 11 single-detection performance (20 rounds, 20 training clips)",
+        f"{'user':8s} {'TAR(own)':>10s} {'TAR(other)':>11s} {'TRR':>8s}",
+    ]
+    for u in result.per_user:
+        lines.append(
+            f"{u.user:8s} {u.tar_own_mean:10.3f} {u.tar_other_mean:11.3f} {u.trr_mean:8.3f}"
+        )
+    lines += [
+        f"{'AVERAGE':8s} {result.avg_tar_own:10.3f} {result.avg_tar_other:11.3f} {result.avg_trr:8.3f}",
+        "paper    :      0.925       0.928    0.944",
+    ]
+    report("fig11_overall", lines)
+
+    # Shape assertions (who wins, roughly by what factor):
+    # high acceptance for legitimate users...
+    assert result.avg_tar_own > 0.80
+    # ...training on others' data is as good as own data (the headline)...
+    assert abs(result.avg_tar_other - result.avg_tar_own) < 0.05
+    # ...and attacks are rejected at least as reliably as users are accepted.
+    assert result.avg_trr > 0.90
+    assert result.avg_trr >= result.avg_tar_own - 0.02

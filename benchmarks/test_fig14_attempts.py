@@ -1,0 +1,46 @@
+"""Fig. 14 — influence of the number of detection attempts.
+
+Paper: majority voting over D attempts raises both TAR and TRR and
+shrinks their variance, whether the classifier was trained on own or
+other users' data (the voting rule needs rejects > 0.7 D, so TRR can dip
+slightly at D = 2-3 before recovering).
+"""
+
+from repro.experiments.runner import run_attempts
+
+from .conftest import run_once
+
+
+def test_fig14_attempts(benchmark, main_dataset, report):
+    result = run_once(
+        benchmark,
+        lambda: run_attempts(
+            main_dataset,
+            attempts=(1, 2, 3, 4, 5, 6, 7),
+            rounds=10,
+            trials_per_round=10,
+            train_size=20,
+        ),
+    )
+
+    lines = [
+        "Fig. 14 accuracy vs number of voting attempts D",
+        f"{'D':>3s} {'TAR(own)':>10s} {'+-':>6s} {'TAR(other)':>11s} {'TRR':>8s} {'+-':>6s}",
+    ]
+    for i, d in enumerate(result.attempts):
+        lines.append(
+            f"{d:3d} {result.tar_own_mean[i]:10.3f} {result.tar_own_std[i]:6.3f} "
+            f"{result.tar_other_mean[i]:11.3f} {result.trr_mean[i]:8.3f} {result.trr_std[i]:6.3f}"
+        )
+    report("fig14_attempts", lines)
+
+    first, last = 0, len(result.attempts) - 1
+    # Voting improves acceptance of legitimate users...
+    assert result.tar_own_mean[last] >= result.tar_own_mean[first]
+    assert result.tar_other_mean[last] >= result.tar_other_mean[first]
+    # ...keeps rejection strong...
+    assert result.trr_mean[last] >= 0.9
+    # ...and shrinks the decision variance (the robustness claim).
+    assert result.tar_own_std[last] <= result.tar_own_std[first] + 0.01
+    # Many-attempt voting should be near-perfect on both sides.
+    assert result.tar_own_mean[last] > 0.95

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the individual pipeline components.
+
+Not paper figures — engineering numbers that bound the Sec. IX overhead
+argument per stage and catch performance regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera.sensor import ImageSensor
+from repro.core.config import DetectorConfig
+from repro.core.dtw import dtw_distance
+from repro.core.lof import LocalOutlierFactor
+from repro.core.preprocessing import preprocess
+from repro.experiments.simulate import simulate_genuine_session
+from repro.vision.expression import ExpressionTrack, PoseState
+from repro.vision.face_model import make_face
+from repro.vision.landmarks import LandmarkDetector
+from repro.vision.renderer import FaceRenderer
+
+
+@pytest.fixture(scope="module")
+def luminance_signal():
+    rng = np.random.default_rng(0)
+    x = np.full(150, 180.0)
+    x[40:] -= 50.0
+    x[110:] += 50.0
+    return x + rng.normal(0, 0.5, 150)
+
+
+def test_bench_preprocess_chain(benchmark, luminance_signal):
+    config = DetectorConfig()
+    result = benchmark(lambda: preprocess(luminance_signal, config, 10.0))
+    assert result.smoothed.size == 150
+
+
+def test_bench_dtw_75_samples(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=75)
+    y = rng.normal(size=75)
+    distance = benchmark(lambda: dtw_distance(x, y))
+    assert distance > 0
+
+
+def test_bench_lof_fit_and_score(benchmark):
+    rng = np.random.default_rng(2)
+    bank = rng.normal(size=(20, 4))
+    query = rng.normal(size=4)
+
+    def fit_and_score():
+        return LocalOutlierFactor(5).fit(bank).score(query)
+
+    score = benchmark(fit_and_score)
+    assert np.isfinite(score)
+
+
+def test_bench_render_frame(benchmark):
+    face = make_face("bench", tone="light")
+    renderer = FaceRenderer(face, height=96, width=96, seed=1)
+    track = ExpressionTrack(seed=2)
+    pose = track.sample(1.0)
+    result = benchmark(lambda: renderer.render(pose, 120.0, 50.0, 70.0))
+    assert result.face_visible
+
+
+def test_bench_landmark_detection(benchmark):
+    face = make_face("bench", tone="light")
+    renderer = FaceRenderer(face, height=96, width=96, seed=1)
+    pose = PoseState(center_x=0.5, center_y=0.48, scale=0.3, roll=0.0, blink=0.0, mouth_open=0.0)
+    rendered = renderer.render(pose, 120.0, 120.0)
+    pixels = ImageSensor(rng=None).expose(rendered.radiance, 1.0 / 250.0)
+    detector = LandmarkDetector()
+    landmarks = benchmark(lambda: detector.detect(pixels))
+    assert landmarks is not None
+
+
+def test_bench_full_session_simulation(benchmark):
+    """One 15-second chat simulation (the testbed's own cost, not the
+    detector's)."""
+    counter = iter(range(10_000))
+
+    def session():
+        return simulate_genuine_session(duration_s=15.0, seed=5000 + next(counter))
+
+    record = benchmark.pedantic(session, rounds=3, iterations=1)
+    assert len(record.transmitted) == 150

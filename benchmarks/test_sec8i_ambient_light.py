@@ -1,0 +1,36 @@
+"""Sec. VIII-I — influence of ambient light.
+
+Paper: performance matches the baseline in normal indoor light, but the
+single-attempt TAR drops to ~80 % when the illuminance on the face rises
+to 240 lux — strong ambient light drowns the screen's reflection.
+"""
+
+from repro.experiments.runner import run_ambient_light
+
+from .conftest import run_once
+
+
+def test_sec8i_ambient_light(benchmark, report):
+    result = run_once(
+        benchmark, lambda: run_ambient_light(lux_levels=(50.0, 120.0, 240.0))
+    )
+
+    lines = [
+        "Sec. VIII-I performance vs ambient illuminance on the face",
+        f"{'ambient':>10s} {'TAR':>8s} {'TRR':>8s}",
+    ]
+    for point in result.points:
+        lines.append(f"{point.label:>10s} {point.tar_mean:8.3f} {point.trr_mean:8.3f}")
+    lines.append("paper: nominal at ~50 lux; TAR ~0.80 at 240 lux on the face")
+    report("sec8i_ambient_light", lines)
+
+    by_label = {p.label: p for p in result.points}
+    nominal = by_label["50 lux"]
+    bright = by_label["240 lux"]
+
+    # Shape: brighter ambient erodes the acceptance rate...
+    assert bright.tar_mean < nominal.tar_mean
+    # ...but the system stays usable (multi-attempt voting recovers it).
+    assert bright.tar_mean > 0.55
+    # Rejection is not the bottleneck under strong ambient light.
+    assert bright.trr_mean > 0.85

@@ -1,0 +1,6 @@
+"""Shim for environments whose pip cannot build PEP 517 editable installs
+offline (no `wheel` package); all real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

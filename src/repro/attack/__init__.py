@@ -1,0 +1,15 @@
+"""Attacker substrate: reenactment, adaptive forgery, replay."""
+
+from .adaptive import AdaptiveLuminanceForger
+from .reenactment import ReenactmentAttacker
+from .replay import ReplayAttacker
+from .target import TargetRecording
+from .virtualcam import VirtualCamera
+
+__all__ = [
+    "AdaptiveLuminanceForger",
+    "ReenactmentAttacker",
+    "ReplayAttacker",
+    "TargetRecording",
+    "VirtualCamera",
+]

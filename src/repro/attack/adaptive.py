@@ -1,0 +1,107 @@
+"""The strong attacker of Sec. VIII-J: forging the reflection itself.
+
+To beat the defense an attacker must reconstruct, on the fake face, the
+screen-light reflection a genuine prover would show — in real time.  The
+paper argues the extra image-processing layer costs generation time, and
+evaluates how the defense degrades as that *forgery processing delay*
+grows (Fig. 17: rejection climbs to ~80 % at 1.3 s of delay, above which
+the attack is hopeless even with a perfect luminance model).
+
+:class:`AdaptiveLuminanceForger` implements the strongest version: it
+watches the verifier's incoming video on its own screen, computes the
+exact reflection a genuine prover's face would receive (same panel
+photometry and viewing-distance model the genuine endpoint uses), and
+injects it into the reenacted output — ``processing_delay_s`` seconds
+late.  With zero delay the forgery is physically perfect; the delay knob
+reproduces Fig. 17.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from ..screen.display import DELL_27_LED, ScreenSpec
+from ..screen.illumination import screen_illuminance
+from ..video.frame import Frame
+from ..video.luminance import frame_mean_luminance
+from ..vision.expression import ExpressionTrack
+from .reenactment import ReenactmentAttacker
+from .target import TargetRecording
+
+__all__ = ["AdaptiveLuminanceForger"]
+
+
+class AdaptiveLuminanceForger(ReenactmentAttacker):
+    """Reenactment attacker that also forges the face-reflected light.
+
+    Parameters
+    ----------
+    target, driving, artifact_level, frame_size, seed:
+        As in :class:`ReenactmentAttacker`.
+    processing_delay_s:
+        Latency of the reflection-synthesis layer.  The attacker cannot
+        apply light it has not yet computed, so the forged reflection
+        trails the true screen light by this much.
+    mimic_screen:
+        Panel the attacker pretends the victim is using.
+    mimic_distance_m:
+        Pretended viewing distance.
+    ambient_lux:
+        Steady ambient level of the forged scene (a static, quiet room —
+        the attacker's best case, no confounding events).
+    """
+
+    def __init__(
+        self,
+        target: TargetRecording,
+        processing_delay_s: float = 0.5,
+        driving: ExpressionTrack | None = None,
+        artifact_level: float = 0.012,
+        frame_size: tuple[int, int] = (96, 96),
+        seed: int = 100,
+        mimic_screen: ScreenSpec = DELL_27_LED,
+        mimic_distance_m: float = 0.5,
+        ambient_lux: float = 50.0,
+    ) -> None:
+        if processing_delay_s < 0:
+            raise ValueError("processing_delay_s must be non-negative")
+        if mimic_distance_m <= 0:
+            raise ValueError("mimic_distance_m must be positive")
+        if ambient_lux < 0:
+            raise ValueError("ambient_lux must be non-negative")
+        super().__init__(
+            target=target,
+            driving=driving,
+            artifact_level=artifact_level,
+            frame_size=frame_size,
+            seed=seed,
+        )
+        self.processing_delay_s = processing_delay_s
+        self.mimic_screen = mimic_screen
+        self.mimic_distance_m = mimic_distance_m
+        self.ambient_lux = ambient_lux
+        self._reflection_log: collections.deque[tuple[float, float]] = collections.deque()
+
+    def _observed_screen_lux(self, displayed: Frame | None) -> float:
+        """Reflection a genuine face would receive from the current
+        screen content."""
+        mean_pixel = 0.0 if displayed is None else frame_mean_luminance(displayed)
+        nits = self.mimic_screen.emitted_luminance(mean_pixel)
+        return screen_illuminance(
+            nits, self.mimic_screen.area_m2, self.mimic_distance_m
+        )
+
+    def _illuminance(self, t: float, displayed: Frame | None) -> float:
+        # Record what the reflection *should* be right now...
+        self._reflection_log.append((t, self._observed_screen_lux(displayed)))
+        # ...but only apply the value computed processing_delay_s ago.
+        apply_time = t - self.processing_delay_s
+        forged = 0.0
+        while (
+            len(self._reflection_log) > 1
+            and self._reflection_log[1][0] <= apply_time
+        ):
+            self._reflection_log.popleft()
+        if self._reflection_log and self._reflection_log[0][0] <= apply_time:
+            forged = self._reflection_log[0][1]
+        return self.ambient_lux + forged

@@ -1,0 +1,47 @@
+"""Classic media replay attacker.
+
+The traditional (pre-reenactment) impersonation: feed a pre-recorded
+genuine video of the victim into the call.  The paper's adversary model
+notes its own model is strictly stronger; the replay attacker is included
+as the weakest comparison point — its luminance track is the recording's,
+frozen in time, so the defense catches it for the same reason it catches
+reenactment (no correlation with the live challenge) *and* its
+expressions cannot even respond to conversation.
+"""
+
+from __future__ import annotations
+
+from ..video.frame import Frame
+from .reenactment import ReenactmentAttacker
+from .target import TargetRecording
+
+__all__ = ["ReplayAttacker"]
+
+
+class ReplayAttacker(ReenactmentAttacker):
+    """Replays the victim's own footage (expressions and lighting)."""
+
+    def __init__(
+        self,
+        target: TargetRecording,
+        playback_offset_s: float = 0.0,
+        frame_size: tuple[int, int] = (96, 96),
+        seed: int = 200,
+    ) -> None:
+        if playback_offset_s < 0:
+            raise ValueError("playback_offset_s must be non-negative")
+        # Replay introduces no synthesis artifacts (artifact_level=0) and
+        # uses the victim's original expression track as the "driving"
+        # performance.
+        super().__init__(
+            target=target,
+            driving=target.expression,
+            artifact_level=0.0,
+            frame_size=frame_size,
+            seed=seed,
+        )
+        self.playback_offset_s = playback_offset_s
+
+    def _illuminance(self, t: float, displayed: Frame | None) -> float:  # type: ignore[override]
+        del displayed
+        return self.target.illuminance_at(t, offset_s=self.playback_offset_s)

@@ -1,0 +1,67 @@
+"""Virtual webcam redirection (adversary capability 3, Sec. III-A).
+
+The paper's attacker redirects the chat software's input stream from the
+physical camera to generated fake video using a virtual web camera — the
+fake frames reach the victim "without any loss and interference" from a
+replay screen.  :class:`VirtualCamera` models that plumbing: it adapts an
+arbitrary frame source into the :class:`ProverEndpoint` interface the
+chat session expects, optionally enforcing the source's maximum
+generation rate (a reenactment model that cannot keep up simply repeats
+its last frame — visible to the defense as a frozen luminance signal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..video.frame import Frame
+
+__all__ = ["VirtualCamera"]
+
+
+class VirtualCamera:
+    """Feed arbitrary generated frames into the chat software.
+
+    Parameters
+    ----------
+    source:
+        ``source(t, displayed)`` producing the fake frame — usually the
+        bound ``produce_frame`` of an attacker, but any callable works.
+    max_generation_hz:
+        Upper bound on how fast the source can synthesize frames
+        (e.g. 47.5 Hz for the fastest reenactment the paper cites, or a
+        small value for an overloaded attacker).  Requests arriving
+        faster than this replay the previous frame with an updated
+        timestamp.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[float, Frame | None], Frame],
+        max_generation_hz: float | None = None,
+    ) -> None:
+        if max_generation_hz is not None and max_generation_hz <= 0:
+            raise ValueError("max_generation_hz must be positive")
+        self.source = source
+        self.max_generation_hz = max_generation_hz
+        self._last_generated_t: float | None = None
+        self._last_frame: Frame | None = None
+
+    def produce_frame(self, t: float, displayed: Frame | None) -> Frame:
+        """ProverEndpoint interface."""
+        min_gap = (
+            0.0 if self.max_generation_hz is None else 1.0 / self.max_generation_hz
+        )
+        can_generate = (
+            self._last_generated_t is None
+            or t - self._last_generated_t >= min_gap - 1e-9
+        )
+        if can_generate or self._last_frame is None:
+            frame = self.source(t, displayed)
+            self._last_generated_t = t
+            self._last_frame = frame
+            return frame
+        repeated = self._last_frame.copy()
+        repeated.timestamp = t
+        repeated.metadata["repeated"] = True
+        return repeated

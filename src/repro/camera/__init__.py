@@ -1,0 +1,14 @@
+"""Camera substrate: metering, auto-exposure, sensor."""
+
+from .camera import Camera
+from .exposure import AutoExposureController
+from .metering import LightMeter, MeteringMode
+from .sensor import ImageSensor
+
+__all__ = [
+    "Camera",
+    "AutoExposureController",
+    "LightMeter",
+    "MeteringMode",
+    "ImageSensor",
+]

@@ -1,0 +1,20 @@
+"""Video-chat integration: endpoints and the session loop (Fig. 4)."""
+
+from .endpoints import (
+    GenuineProverEndpoint,
+    MeteringBehavior,
+    ProverEndpoint,
+    ScheduledMeteringBehavior,
+    VerifierEndpoint,
+)
+from .session import SessionRecord, VideoChatSession
+
+__all__ = [
+    "GenuineProverEndpoint",
+    "MeteringBehavior",
+    "ProverEndpoint",
+    "ScheduledMeteringBehavior",
+    "VerifierEndpoint",
+    "SessionRecord",
+    "VideoChatSession",
+]

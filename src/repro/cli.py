@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Four subcommands mirroring the library's main uses::
+
+    python -m repro demo                 # quick genuine-vs-attacker demo
+    python -m repro verify --role attack # simulate + verify one session
+    python -m repro figures --only fig11 # regenerate paper figures
+    python -m repro info                 # configuration + paper constants
+
+The CLI exists so the reproduction can be driven without writing Python
+— handy for spot checks and for embedding in shell pipelines (exit code
+of ``verify`` reflects the verdict).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from collections.abc import Sequence
+
+from .core.config import PAPER_CONFIG
+from .core.pipeline import ChatVerifier
+from .experiments.simulate import (
+    simulate_adaptive_attack_session,
+    simulate_attack_session,
+    simulate_genuine_session,
+    simulate_replay_attack_session,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _enrolled_verifier(enroll_sessions: int, seed: int) -> ChatVerifier:
+    verifier = ChatVerifier()
+    verifier.enroll(
+        [
+            simulate_genuine_session(duration_s=15.0, seed=seed + i)
+            for i in range(enroll_sessions)
+        ]
+    )
+    return verifier
+
+
+def _simulate(role: str, seed: int, duration_s: float, delay_s: float):
+    if role == "genuine":
+        return simulate_genuine_session(duration_s=duration_s, seed=seed)
+    if role == "attack":
+        return simulate_attack_session(duration_s=duration_s, seed=seed)
+    if role == "replay":
+        return simulate_replay_attack_session(duration_s=duration_s, seed=seed)
+    if role == "adaptive":
+        return simulate_adaptive_attack_session(
+            processing_delay_s=delay_s, duration_s=duration_s, seed=seed
+        )
+    raise ValueError(f"unknown role {role!r}")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Enroll, then verify one genuine and one attack session."""
+    print("enrolling verifier on genuine sessions ...")
+    verifier = _enrolled_verifier(args.enroll, seed=args.seed)
+    for role in ("genuine", "attack"):
+        record = _simulate(role, args.seed + 100, 15.0, 1.0)
+        verdict = verifier.verify_session(record)
+        attempt = verdict.attempts[0]
+        z = attempt.features
+        label = "ATTACKER" if verdict.is_attacker else "live person"
+        print(
+            f"{role:>8s}: z=({z.z1:.2f}, {z.z2:.2f}, {z.z3:.2f}, {z.z4:.2f}) "
+            f"LOF={min(attempt.lof_score, 999.0):6.2f} -> {label}"
+        )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Simulate one session of the given role and verify it.
+
+    Exit code 0 = accepted as live, 1 = flagged as attacker (so the
+    shell can branch on the verdict).
+    """
+    verifier = _enrolled_verifier(args.enroll, seed=args.seed)
+    record = _simulate(args.role, args.seed + 1000, args.duration, args.delay)
+    verdict = verifier.verify_session(record)
+    for i, attempt in enumerate(verdict.attempts):
+        z = attempt.features
+        print(
+            f"clip {i}: z=({z.z1:.2f}, {z.z2:.2f}, {z.z3:.2f}, {z.z4:.2f}) "
+            f"LOF={min(attempt.lof_score, 999.0):6.2f} "
+            f"{'reject' if attempt.rejected else 'accept'}"
+        )
+    print(
+        f"verdict: {'ATTACKER' if verdict.is_attacker else 'live'} "
+        f"({verdict.verdict.reject_votes}/{verdict.verdict.total_votes} reject votes)"
+    )
+    return 1 if verdict.is_attacker else 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate paper figures (thin wrapper over experiments.figures)."""
+    from .experiments.figures import generate_all
+
+    generate_all(args.out, only=args.only or None)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the paper configuration and the library version."""
+    del args
+    from . import __version__
+
+    print(f"repro {__version__} - reproduction of Shang & Wu, ICDCS 2020")
+    print("paper configuration (DetectorConfig defaults):")
+    for field in dataclasses.fields(PAPER_CONFIG):
+        print(f"  {field.name:24s} = {getattr(PAPER_CONFIG, field.name)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Liveness defense for video chat (ICDCS 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help=cmd_demo.__doc__)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--enroll", type=int, default=12, help="enrollment sessions")
+    demo.set_defaults(func=cmd_demo)
+
+    verify = sub.add_parser("verify", help="simulate and verify one session")
+    verify.add_argument(
+        "--role",
+        choices=("genuine", "attack", "replay", "adaptive"),
+        default="genuine",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--duration", type=float, default=15.0)
+    verify.add_argument("--enroll", type=int, default=12)
+    verify.add_argument(
+        "--delay", type=float, default=1.0, help="adaptive forger's processing delay"
+    )
+    verify.set_defaults(func=cmd_verify)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--out", default="results")
+    figures.add_argument("--only", nargs="*")
+    figures.set_defaults(func=cmd_figures)
+
+    info = sub.add_parser("info", help=cmd_info.__doc__)
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

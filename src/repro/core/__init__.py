@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the liveness-detection pipeline."""
+
+from .calibration import CalibrationResult, calibrate_threshold, leave_one_out_scores
+from .challenge import ChallengeQuality, ChallengeScheduler, challenge_quality
+from .config import PAPER_CONFIG, DetectorConfig
+from .detector import DetectionResult, LivenessDetector
+from .diagnostics import ClipDiagnostics, ClipIssue, diagnose_clip, reflection_snr
+from .features import FeatureExtraction, FeatureVector, extract_features
+from .lof import LocalOutlierFactor
+from .pipeline import ChatVerifier, DiagnosedVerdict, SessionVerdict
+from .streaming import CallStatus, StreamingState, StreamingVerifier
+from .voting import Verdict, VotingCombiner
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_threshold",
+    "leave_one_out_scores",
+    "ChallengeQuality",
+    "ChallengeScheduler",
+    "challenge_quality",
+    "PAPER_CONFIG",
+    "DetectorConfig",
+    "DetectionResult",
+    "LivenessDetector",
+    "ClipDiagnostics",
+    "ClipIssue",
+    "diagnose_clip",
+    "reflection_snr",
+    "FeatureExtraction",
+    "FeatureVector",
+    "extract_features",
+    "LocalOutlierFactor",
+    "ChatVerifier",
+    "DiagnosedVerdict",
+    "SessionVerdict",
+    "CallStatus",
+    "StreamingState",
+    "StreamingVerifier",
+    "Verdict",
+    "VotingCombiner",
+]

@@ -1,0 +1,150 @@
+"""Active challenge scheduling (an extension the paper motivates).
+
+The paper's challenge is *passive*: the legitimate user happens to touch
+the metering area while chatting, and each touch doubles as a luminance
+challenge.  A clip with too few — or too weak — significant changes
+carries little evidence either way; nothing in the paper forces the
+challenges to exist.
+
+:class:`ChallengeScheduler` closes that loop on the verifier's side: it
+watches the transmitted video's luminance in real time, counts the
+challenges issued inside the current detection window, and tells the
+application when it should nudge the metering spot (or, equivalently,
+prompt the user to touch the screen).  With the scheduler in charge,
+every detection clip is guaranteed ``min_challenges`` significant
+changes, spaced at least ``min_gap_s`` apart so the Sec. V smoothing
+chain resolves them as distinct peaks.
+
+:func:`challenge_quality` grades a finished clip — used by the
+diagnostics module to mark clips as *inconclusive* rather than risk a
+verdict on weak evidence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .config import DetectorConfig
+from .preprocessing import preprocess
+
+__all__ = ["ChallengeQuality", "challenge_quality", "ChallengeScheduler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChallengeQuality:
+    """How much liveness evidence a transmitted clip carries."""
+
+    challenge_count: int
+    mean_prominence: float
+    min_spacing_s: float
+    sufficient: bool
+
+
+def challenge_quality(
+    transmitted_luminance: np.ndarray,
+    config: DetectorConfig | None = None,
+    min_challenges: int = 2,
+) -> ChallengeQuality:
+    """Grade the challenge content of one transmitted-luminance clip.
+
+    A clip is *sufficient* when it contains at least ``min_challenges``
+    significant changes inside the countable (guard-trimmed) window.
+    """
+    config = config or DetectorConfig()
+    if min_challenges < 1:
+        raise ValueError("min_challenges must be >= 1")
+    pre = preprocess(transmitted_luminance, config, config.peak_prominence_screen)
+    clip_end = (pre.raw.size - 1) / config.sample_rate_hz
+    times = pre.peak_times
+    keep = times <= clip_end - config.boundary_guard_s
+    times = times[keep]
+    prominences = np.array([p.prominence for p in pre.peaks])[keep]
+
+    spacing = float(np.diff(times).min()) if times.size >= 2 else float("inf")
+    return ChallengeQuality(
+        challenge_count=int(times.size),
+        mean_prominence=float(prominences.mean()) if prominences.size else 0.0,
+        min_spacing_s=spacing,
+        sufficient=times.size >= min_challenges,
+    )
+
+
+class ChallengeScheduler:
+    """Decides, tick by tick, whether the verifier should issue a
+    challenge *now* to keep the current detection window evidentiary.
+
+    Parameters
+    ----------
+    config:
+        Detection constants (window length, sampling rate).
+    min_challenges:
+        Challenges per window the scheduler guarantees.
+    min_gap_s:
+        Minimum spacing between scheduled challenges (must exceed the
+        smoothing chain's merge radius, ~4 s at 10 Hz).
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        min_challenges: int = 2,
+        min_gap_s: float = 4.5,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        if min_challenges < 1:
+            raise ValueError("min_challenges must be >= 1")
+        if min_gap_s <= 0:
+            raise ValueError("min_gap_s must be positive")
+        usable = self.config.clip_duration_s - self.config.boundary_guard_s
+        if min_challenges * min_gap_s > usable:
+            raise ValueError(
+                f"{min_challenges} challenges at {min_gap_s}s spacing do not "
+                f"fit the {usable:.1f}s usable window"
+            )
+        self.min_challenges = min_challenges
+        self.min_gap_s = min_gap_s
+        self._window_start: float | None = None
+        self._issued: list[float] = []
+
+    def note_challenge(self, t: float) -> None:
+        """Record that a challenge happened (user touch or scheduled)."""
+        self._issued.append(t)
+
+    def should_challenge(self, t: float) -> bool:
+        """Whether the application should issue a challenge at time ``t``.
+
+        Strategy: never violate the spacing; beyond that, challenge
+        whenever the remaining usable window is just enough to fit the
+        challenges still owed.
+        """
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        if self._window_start is None:
+            self._window_start = t
+        window_t = t - self._window_start
+        if window_t >= self.config.clip_duration_s:
+            # New detection window.
+            self._window_start = t
+            window_t = 0.0
+            self._issued = [s for s in self._issued if s >= t - self.min_gap_s]
+
+        in_window = [s for s in self._issued if s >= self._window_start]
+        owed = self.min_challenges - len(in_window)
+        if owed <= 0:
+            return False
+        if self._issued and t - self._issued[-1] < self.min_gap_s:
+            return False
+        # Latest moment the owed challenges still fit before the usable
+        # window closes; challenge once we reach it.
+        usable_end = self.config.clip_duration_s - self.config.boundary_guard_s
+        last_chance = usable_end - owed * self.min_gap_s
+        return window_t >= last_chance
+
+    def tick(self, t: float) -> bool:
+        """Convenience: ``should_challenge`` and, when true, record it."""
+        if self.should_challenge(t):
+            self.note_challenge(t)
+            return True
+        return False

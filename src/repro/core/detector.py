@@ -1,0 +1,123 @@
+"""Single-clip fake-video detection (Sec. VII-A).
+
+:class:`LivenessDetector` is the deployable unit: fit it once on a bank
+of legitimate feature vectors (from *any* users — the paper shows
+training on other volunteers' data works as well as the user's own,
+Fig. 11), then verify clips.  A clip is rejected as an attack when its
+LOF score exceeds the decision threshold tau (default 3, swept in
+Fig. 12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .config import DetectorConfig
+from .features import FeatureExtraction, FeatureVector, extract_features
+from .lof import LocalOutlierFactor
+
+__all__ = ["DetectionResult", "LivenessDetector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one detection attempt on one clip."""
+
+    features: FeatureVector
+    lof_score: float
+    threshold: float
+    extraction: FeatureExtraction | None = None
+
+    @property
+    def accepted(self) -> bool:
+        """True when the clip is judged live (LOF <= tau)."""
+        return self.lof_score <= self.threshold
+
+    @property
+    def rejected(self) -> bool:
+        """True when the clip is judged an attack."""
+        return not self.accepted
+
+
+class LivenessDetector:
+    """LOF-based fake-face detector for one feature configuration.
+
+    Parameters
+    ----------
+    config:
+        Pipeline constants; defaults to the paper's values.
+    """
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config or DetectorConfig()
+        self._model = LocalOutlierFactor(n_neighbors=self.config.lof_neighbors)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model.is_fitted
+
+    @property
+    def training_size(self) -> int:
+        """Number of legitimate instances in the fitted bank."""
+        return self._model.train_size
+
+    def fit(self, bank: Sequence[FeatureVector] | np.ndarray) -> "LivenessDetector":
+        """Fit on a bank of legitimate-user feature vectors.
+
+        The bank needs no attacker data and no data from the user being
+        verified — the paper's key training-cost property.
+        """
+        if isinstance(bank, np.ndarray):
+            X = np.asarray(bank, dtype=np.float64)
+        else:
+            X = np.array([fv.as_array() for fv in bank], dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != 4:
+            raise ValueError(f"bank must have shape (n, 4), got {X.shape}")
+        self._model.fit(X)
+        return self
+
+    def fit_from_clips(
+        self,
+        clips: Iterable[tuple[np.ndarray, np.ndarray]],
+    ) -> "LivenessDetector":
+        """Fit from raw legitimate (transmitted, received) luminance pairs."""
+        bank = [
+            extract_features(t_lum, r_lum, self.config).features
+            for t_lum, r_lum in clips
+        ]
+        if len(bank) < 2:
+            raise ValueError("need at least 2 training clips")
+        return self.fit(bank)
+
+    def score(self, features: FeatureVector) -> float:
+        """Raw LOF score of one feature vector."""
+        if not self.is_trained:
+            raise RuntimeError("detector is not trained; call fit() first")
+        return self._model.score(features.as_array())
+
+    def verify_features(
+        self,
+        features: FeatureVector,
+        extraction: FeatureExtraction | None = None,
+    ) -> DetectionResult:
+        """Classify one already-extracted feature vector."""
+        return DetectionResult(
+            features=features,
+            lof_score=self.score(features),
+            threshold=self.config.lof_threshold,
+            extraction=extraction,
+        )
+
+    def verify_clip(
+        self,
+        transmitted_luminance: np.ndarray,
+        received_luminance: np.ndarray,
+    ) -> DetectionResult:
+        """Full single-clip detection from raw luminance signals."""
+        extraction = extract_features(
+            transmitted_luminance, received_luminance, self.config
+        )
+        return self.verify_features(extraction.features, extraction)

@@ -1,0 +1,120 @@
+"""Clip diagnostics: decide whether a verdict is *supportable*.
+
+The paper's detector always answers accept/reject.  In deployment some
+clips simply carry no evidence — the verifier issued no challenge, the
+face was never found, the reflection is buried under ambient light.
+Treating those as rejections punishes legitimate users; treating them as
+acceptances helps attackers who suppress the channel.  The honest output
+is *inconclusive*, plus the reason, so the application can re-challenge
+(see :mod:`~repro.core.challenge`) or fall back to another factor.
+
+:func:`diagnose_clip` grades one clip pair before classification:
+
+* challenge sufficiency of the transmitted signal;
+* face-detection coverage of the received video;
+* reflection signal-to-noise on the received side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from .challenge import challenge_quality
+from .config import DetectorConfig
+from .preprocessing import lowpass_filter, preprocess
+
+__all__ = ["ClipIssue", "ClipDiagnostics", "diagnose_clip", "reflection_snr"]
+
+
+class ClipIssue(enum.Enum):
+    """Reasons a clip cannot support a verdict."""
+
+    NO_CHALLENGES = "transmitted video has no significant luminance changes"
+    TOO_FEW_CHALLENGES = "transmitted video has fewer challenges than required"
+    NO_FACE = "no face found in the received video"
+    POOR_FACE_COVERAGE = "face found in too few received frames"
+    WEAK_REFLECTION = "face reflection too weak relative to its noise floor"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClipDiagnostics:
+    """Evidential quality of one clip pair."""
+
+    conclusive: bool
+    issues: tuple[ClipIssue, ...]
+    challenge_count: int
+    face_coverage: float
+    reflection_snr_db: float
+
+
+def reflection_snr(
+    received_luminance: np.ndarray,
+    config: DetectorConfig | None = None,
+) -> float:
+    """Reflection signal-to-noise ratio (dB) of a received clip.
+
+    Signal: the sub-cutoff (screen-driven) band of the luminance;
+    noise: everything above the cutoff.  A clip with no reflected
+    challenges has a near-flat low band and the ratio collapses.
+    """
+    config = config or DetectorConfig()
+    x = np.asarray(received_luminance, dtype=np.float64)
+    if x.ndim != 1 or x.size < 8:
+        raise ValueError("received_luminance must be 1-D with >= 8 samples")
+    low = lowpass_filter(x, config.sample_rate_hz, config.lowpass_cutoff_hz, config.lowpass_taps)
+    noise = x - low
+    signal_power = float(np.var(low))
+    noise_power = float(np.var(noise))
+    if noise_power <= 1e-12:
+        return 60.0  # synthetic noiseless input: cap instead of inf
+    return float(10.0 * np.log10(max(signal_power, 1e-12) / noise_power))
+
+
+def diagnose_clip(
+    transmitted_luminance: np.ndarray,
+    received_luminance: np.ndarray,
+    face_valid: np.ndarray | None = None,
+    config: DetectorConfig | None = None,
+    min_challenges: int = 1,
+    min_face_coverage: float = 0.5,
+    min_snr_db: float = 0.0,
+) -> ClipDiagnostics:
+    """Grade a clip pair; ``conclusive`` means a verdict is supportable.
+
+    ``face_valid`` is the per-frame detection mask from
+    :func:`~repro.core.luminance.received_luminance_signal`; omit it when
+    the received signal came from elsewhere.
+    """
+    config = config or DetectorConfig()
+    issues: list[ClipIssue] = []
+
+    quality = challenge_quality(transmitted_luminance, config, min_challenges)
+    if quality.challenge_count == 0:
+        issues.append(ClipIssue.NO_CHALLENGES)
+    elif not quality.sufficient:
+        issues.append(ClipIssue.TOO_FEW_CHALLENGES)
+
+    coverage = 1.0
+    if face_valid is not None:
+        face_valid = np.asarray(face_valid, dtype=bool)
+        coverage = float(face_valid.mean()) if face_valid.size else 0.0
+        if coverage == 0.0:
+            issues.append(ClipIssue.NO_FACE)
+        elif coverage < min_face_coverage:
+            issues.append(ClipIssue.POOR_FACE_COVERAGE)
+
+    snr_db = reflection_snr(received_luminance, config)
+    # Only meaningful when there were challenges to reflect.
+    if quality.challenge_count > 0 and snr_db < min_snr_db:
+        issues.append(ClipIssue.WEAK_REFLECTION)
+
+    return ClipDiagnostics(
+        conclusive=not issues,
+        issues=tuple(issues),
+        challenge_count=quality.challenge_count,
+        face_coverage=coverage,
+        reflection_snr_db=snr_db,
+    )

@@ -1,0 +1,193 @@
+"""Feature extraction (Sec. VI): z1..z4 from a pair of luminance signals.
+
+Behaviour features (when changes happen):
+
+* ``z1`` — proportion of the transmitted video's significant changes
+  matched in the received video, ``F(T, R) / N`` (Eq. 4).
+* ``z2`` — proportion of the received video's significant changes matched
+  in the transmitted video, ``G(T, R) / M`` (Eq. 5).
+
+Trend features (how the luminance changes), computed on the
+delay-aligned, [0, 1]-normalized smoothed variance signals, cut into two
+equal segments:
+
+* ``z3`` — the smaller Pearson correlation coefficient over the segment
+  pairs (Eq. 6).
+* ``z4`` — the larger DTW distance over the segment pairs, divided by 30
+  to keep its scale comparable.
+
+A genuine prover clusters near (1, 1, high, low); a reenactment attacker
+falls away on at least one dimension — which is all the LOF model needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .config import DetectorConfig
+from .delay import align_signals, estimate_delay
+from .dtw import dtw_distance
+from .matching import ChangeMatch, match_changes
+from .preprocessing import PreprocessedSignal, preprocess
+
+__all__ = [
+    "FeatureVector",
+    "FeatureExtraction",
+    "pearson_correlation",
+    "normalize_unit",
+    "split_segments",
+    "extract_features",
+    "features_from_signals",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureVector:
+    """The four-dimensional feature point fed to the classifier."""
+
+    z1: float
+    z2: float
+    z3: float
+    z4: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.z1, self.z2, self.z3, self.z4], dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "FeatureVector":
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != (4,):
+            raise ValueError(f"expected 4 features, got shape {arr.shape}")
+        return cls(z1=float(arr[0]), z2=float(arr[1]), z3=float(arr[2]), z4=float(arr[3]))
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureExtraction:
+    """Features plus every intermediate (for figures and diagnostics)."""
+
+    features: FeatureVector
+    transmitted: PreprocessedSignal
+    received: PreprocessedSignal
+    matches: tuple[ChangeMatch, ...]
+    delay_s: float
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient (Eq. 6); 0 when either input is
+    constant (no trend to correlate)."""
+    a = np.asarray(x, dtype=np.float64)
+    b = np.asarray(y, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be 1-D arrays of equal length")
+    if a.size < 2:
+        return 0.0
+    std_a = a.std()
+    std_b = b.std()
+    if std_a < 1e-12 or std_b < 1e-12:
+        return 0.0
+    return float(((a - a.mean()) * (b - b.mean())).mean() / (std_a * std_b))
+
+
+def normalize_unit(signal: np.ndarray) -> np.ndarray:
+    """Scale a signal to [0, 1]; a flat signal maps to all zeros."""
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be 1-D")
+    if x.size == 0:
+        return x.copy()
+    low = x.min()
+    span = x.max() - low
+    if span < 1e-12:
+        return np.zeros_like(x)
+    return (x - low) / span
+
+
+def split_segments(signal: np.ndarray, count: int) -> list[np.ndarray]:
+    """Cut a signal into ``count`` equal-length segments (tail dropped)."""
+    x = np.asarray(signal, dtype=np.float64)
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    seg_len = x.size // count
+    if seg_len < 1:
+        raise ValueError(f"signal of length {x.size} too short for {count} segments")
+    return [x[i * seg_len : (i + 1) * seg_len] for i in range(count)]
+
+
+def extract_features(
+    transmitted_luminance: np.ndarray,
+    received_luminance: np.ndarray,
+    config: DetectorConfig | None = None,
+) -> FeatureExtraction:
+    """Full Sec. V + Sec. VI pipeline on a pair of raw luminance signals."""
+    config = config or DetectorConfig()
+    pre_t = preprocess(transmitted_luminance, config, config.peak_prominence_screen)
+    pre_r = preprocess(received_luminance, config, config.peak_prominence_face)
+    return features_from_signals(pre_t, pre_r, config)
+
+
+def features_from_signals(
+    pre_t: PreprocessedSignal,
+    pre_r: PreprocessedSignal,
+    config: DetectorConfig | None = None,
+) -> FeatureExtraction:
+    """Sec. VI features from two already-preprocessed signals."""
+    config = config or DetectorConfig()
+
+    # Boundary guard: a transmitted change too close to the clip end has
+    # its reflection truncated by the segmentation; a received change too
+    # close to the clip start reflects a pre-clip challenge.  Neither can
+    # be matched even for a live face, so they are excluded from N and M.
+    guard = config.boundary_guard_s
+    clip_end = (pre_t.raw.size - 1) / config.sample_rate_hz
+    t_times = pre_t.peak_times
+    r_times = pre_r.peak_times
+    t_times = t_times[t_times <= clip_end - guard]
+    r_times = r_times[r_times >= guard]
+
+    matches = match_changes(t_times, r_times, tolerance_s=config.match_tolerance_s)
+    n = t_times.size
+    m = r_times.size
+    z1 = len(matches) / n if n > 0 else 0.0
+    z2 = len(matches) / m if m > 0 else 0.0
+
+    delay = estimate_delay(matches)
+    delay_s = 0.0 if delay is None else delay
+
+    t_norm = normalize_unit(pre_t.smoothed)
+    r_norm = normalize_unit(pre_r.smoothed)
+    try:
+        t_aligned, r_aligned = align_signals(
+            t_norm, r_norm, delay_s, config.sample_rate_hz
+        )
+    except ValueError:
+        # Degenerate delay estimate (larger than the clip): fall back to
+        # unaligned signals; the trend features will degrade on their own.
+        t_aligned, r_aligned = t_norm, r_norm
+        delay_s = 0.0
+
+    correlations: list[float] = []
+    dtw_distances: list[float] = []
+    if t_aligned.size >= 2 * config.segment_count:
+        t_segments = split_segments(t_aligned, config.segment_count)
+        r_segments = split_segments(r_aligned, config.segment_count)
+        for t_seg, r_seg in zip(t_segments, r_segments):
+            correlations.append(pearson_correlation(t_seg, r_seg))
+            dtw_distances.append(dtw_distance(t_seg, r_seg))
+    if correlations:
+        z3 = min(correlations)
+        z4 = max(dtw_distances) / config.dtw_scale
+    else:
+        # Too little overlap to measure a trend: maximally suspicious.
+        z3 = -1.0
+        z4 = float(max(t_norm.size, 1)) / config.dtw_scale
+
+    features = FeatureVector(z1=z1, z2=z2, z3=float(z3), z4=float(z4))
+    return FeatureExtraction(
+        features=features,
+        transmitted=pre_t,
+        received=pre_r,
+        matches=tuple(matches),
+        delay_s=delay_s,
+    )

@@ -1,0 +1,140 @@
+"""Local Outlier Factor (Sec. VII-A), implemented from scratch.
+
+The paper's classifier needs no attacker data and no per-user enrollment:
+it scores a new feature vector against a small bank of *legitimate*
+feature vectors by comparing local densities (Breunig et al., the paper's
+[22]).  A genuine clip lands inside the legitimate cluster (LOF near 1);
+an attack clip is isolated on at least one feature dimension, giving a
+local density far below its neighbours' and an LOF well above 1.
+
+Semantics here are *novelty detection*: the bank is fixed at fit time and
+query points are scored against it (they never become each other's
+neighbours), matching the paper's "dataset collected from legitimate
+users plus one new data from the untrusted user".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LocalOutlierFactor"]
+
+
+class LocalOutlierFactor:
+    """k-NN local-density outlier scorer.
+
+    Parameters
+    ----------
+    n_neighbors:
+        ``k`` of the model (paper: 5).  Capped at ``n_train - 1`` when
+        the bank is small.
+    """
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self._train: np.ndarray | None = None
+        self._train_k_distance: np.ndarray | None = None
+        self._train_lrd: np.ndarray | None = None
+        self._effective_k: int = n_neighbors
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train is not None
+
+    @property
+    def train_size(self) -> int:
+        if self._train is None:
+            raise RuntimeError("model is not fitted")
+        return int(self._train.shape[0])
+
+    def fit(self, X: np.ndarray) -> "LocalOutlierFactor":
+        """Fit on the legitimate bank (shape ``(n, d)``, n >= 2)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("training data must be 2-D (n_samples, n_features)")
+        n = X.shape[0]
+        if n < 2:
+            raise ValueError("need at least 2 training points")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("training data must be finite")
+        self._train = X.copy()
+        self._effective_k = min(self.n_neighbors, n - 1)
+        k = self._effective_k
+
+        # Pairwise distances within the bank.
+        diffs = X[:, None, :] - X[None, :, :]
+        dist = np.sqrt((diffs**2).sum(axis=2))
+        np.fill_diagonal(dist, np.inf)
+
+        # k-distance and k-neighborhood of every training point.
+        order = np.argsort(dist, axis=1)
+        neighbor_idx = order[:, :k]
+        self._train_k_distance = dist[np.arange(n), order[:, k - 1]]
+
+        # Local reachability density of every training point:
+        # lrd(p) = |N_k(p)| / sum_{o in N_k(p)} max(k-dist(o), d(p, o))
+        reach = np.maximum(
+            self._train_k_distance[neighbor_idx],
+            dist[np.arange(n)[:, None], neighbor_idx],
+        )
+        reach_sum = reach.sum(axis=1)
+        with np.errstate(divide="ignore"):
+            self._train_lrd = np.where(reach_sum > 0, k / reach_sum, np.inf)
+        return self
+
+    def _score_one(self, z: np.ndarray) -> float:
+        assert self._train is not None
+        assert self._train_k_distance is not None
+        assert self._train_lrd is not None
+        k = self._effective_k
+
+        dist = np.sqrt(((self._train - z) ** 2).sum(axis=1))
+        order = np.argsort(dist)
+        neighbors = order[:k]
+
+        # Local reachability density of the query point (Eq. 7).
+        reach = np.maximum(self._train_k_distance[neighbors], dist[neighbors])
+        reach_sum = reach.sum()
+        lrd_z = np.inf if reach_sum <= 0 else k / reach_sum
+
+        # LOF (Eq. 8): mean neighbour density over own density.
+        neighbor_lrd = self._train_lrd[neighbors]
+        finite = neighbor_lrd[np.isfinite(neighbor_lrd)]
+        if np.isinf(lrd_z):
+            # The query coincides with a dense cluster of training points:
+            # maximal own-density, clear inlier.
+            return 1.0
+        if finite.size == 0:
+            # All neighbours are duplicates of each other (infinite
+            # density) while the query is not among them: clear outlier.
+            return np.inf
+        mean_neighbor_lrd = float(neighbor_lrd.mean()) if finite.size == neighbor_lrd.size else float(np.inf)
+        if np.isinf(mean_neighbor_lrd):
+            return np.inf
+        return mean_neighbor_lrd / lrd_z
+
+    def score_samples(self, Z: np.ndarray) -> np.ndarray:
+        """LOF value of each query point (shape ``(m, d)`` -> ``(m,)``).
+
+        Values near 1 mean the point sits at its neighbours' density;
+        values well above 1 mean outlier (the paper rejects above tau=3).
+        """
+        if self._train is None:
+            raise RuntimeError("fit the model before scoring")
+        Z = np.asarray(Z, dtype=np.float64)
+        if Z.ndim == 1:
+            Z = Z[None, :]
+        if Z.ndim != 2 or Z.shape[1] != self._train.shape[1]:
+            raise ValueError(
+                f"query shape {Z.shape} incompatible with training "
+                f"dimension {self._train.shape[1]}"
+            )
+        if not np.all(np.isfinite(Z)):
+            raise ValueError("query data must be finite")
+        return np.array([self._score_one(z) for z in Z], dtype=np.float64)
+
+    def score(self, z: np.ndarray) -> float:
+        """LOF value of a single query point."""
+        return float(self.score_samples(np.asarray(z))[0])

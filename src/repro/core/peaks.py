@@ -1,0 +1,104 @@
+"""Peak finding with prominence (Sec. V, final stage).
+
+The "traditional peak finding algorithm" the paper applies to each
+smoothed variance signal, implemented from scratch: plateau-aware local
+maxima, each qualified by its topographic *prominence* (height above the
+highest saddle separating it from higher terrain).  The paper gates peaks
+at a minimum prominence of 10 (screen signal) or 0.5 (face signal).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Peak", "find_peaks"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Peak:
+    """One local maximum of a 1-D signal."""
+
+    index: int
+    height: float
+    prominence: float
+
+
+def _local_maxima(x: np.ndarray) -> list[int]:
+    """Indices of plateau-aware strict local maxima.
+
+    A plateau (run of equal values) counts as one maximum, reported at
+    its midpoint, when both neighbours of the run are strictly lower.
+    Signal endpoints are never maxima (their outer side is unknown).
+    """
+    maxima: list[int] = []
+    n = x.size
+    i = 1
+    while i < n - 1:
+        if x[i] <= x[i - 1]:
+            i += 1
+            continue
+        # Ascent found; walk any plateau.
+        j = i
+        while j < n - 1 and x[j + 1] == x[i]:
+            j += 1
+        if j < n - 1 and x[j + 1] < x[i]:
+            maxima.append((i + j) // 2)
+        i = j + 1
+    return maxima
+
+
+def _prominence(x: np.ndarray, peak: int, maxima: list[int]) -> float:
+    """Topographic prominence of one peak.
+
+    Walk left and right until terrain rises above the peak (or the signal
+    ends), recording the lowest point (saddle) on each side; prominence is
+    the peak height minus the higher of the two saddles.
+    """
+    height = x[peak]
+
+    left_min = height
+    i = peak - 1
+    while i >= 0 and x[i] <= height:
+        left_min = min(left_min, x[i])
+        i -= 1
+    if i < 0:
+        # No higher ground to the left: the left base is the global walk min.
+        pass
+
+    right_min = height
+    i = peak + 1
+    n = x.size
+    while i < n and x[i] <= height:
+        right_min = min(right_min, x[i])
+        i += 1
+
+    return float(height - max(left_min, right_min))
+
+
+def find_peaks(signal: np.ndarray, min_prominence: float) -> list[Peak]:
+    """All local maxima with prominence >= ``min_prominence``.
+
+    Parameters
+    ----------
+    signal:
+        1-D array.
+    min_prominence:
+        Gate on peak prominence (paper: 10 for screen light, 0.5 for
+        face-reflected light).
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be 1-D")
+    if min_prominence <= 0:
+        raise ValueError("min_prominence must be positive")
+    if x.size < 3:
+        return []
+    maxima = _local_maxima(x)
+    peaks = []
+    for index in maxima:
+        prom = _prominence(x, index, maxima)
+        if prom >= min_prominence:
+            peaks.append(Peak(index=index, height=float(x[index]), prominence=prom))
+    return peaks

@@ -1,0 +1,214 @@
+"""End-to-end verification: two video streams in, a verdict out.
+
+:class:`ChatVerifier` is the public entry point a video-chat application
+would embed on the verifier's device.  It owns the landmark detector, the
+luminance probes, the trained LOF detector, and the voting combiner, and
+exposes three operations:
+
+* :meth:`enroll` — fit the legitimate bank from genuine sessions (once,
+  from *any* users' data; no attacker data, Sec. VII-A).
+* :meth:`verify_clip` — one detection attempt on a 15-second clip pair.
+* :meth:`verify_session` — cut a longer session into clips, run one
+  attempt per clip, and majority-vote the verdict (Sec. VII-B).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..chat.session import SessionRecord
+from ..video.stream import VideoStream
+from ..vision.landmarks import LandmarkDetector
+from .config import DetectorConfig
+from .detector import DetectionResult, LivenessDetector
+from .diagnostics import ClipDiagnostics, diagnose_clip
+from .features import FeatureVector, extract_features
+from .luminance import received_luminance_signal, transmitted_luminance_signal
+from .voting import Verdict, VotingCombiner
+
+__all__ = ["SessionVerdict", "DiagnosedVerdict", "ChatVerifier"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionVerdict:
+    """Verdict plus the per-clip evidence behind it."""
+
+    verdict: Verdict
+    attempts: tuple[DetectionResult, ...]
+
+    @property
+    def is_attacker(self) -> bool:
+        return self.verdict.is_attacker
+
+
+@dataclasses.dataclass(frozen=True)
+class DiagnosedVerdict:
+    """A verdict that distinguishes *inconclusive* evidence.
+
+    ``verdict`` is ``None`` when no clip carried enough evidence to
+    support any decision (e.g. the verifier never challenged) — the
+    honest answer a deployed system should surface instead of guessing.
+    """
+
+    verdict: Verdict | None
+    attempts: tuple[DetectionResult, ...]
+    diagnostics: tuple[ClipDiagnostics, ...]
+
+    @property
+    def is_attacker(self) -> bool:
+        """Attacker iff a verdict exists and says so."""
+        return self.verdict is not None and self.verdict.is_attacker
+
+    @property
+    def is_conclusive(self) -> bool:
+        return self.verdict is not None
+
+    @property
+    def inconclusive_clips(self) -> int:
+        return sum(1 for d in self.diagnostics if not d.conclusive)
+
+
+class ChatVerifier:
+    """The paper's defense system, assembled."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        landmark_detector: LandmarkDetector | None = None,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        self.landmark_detector = landmark_detector or LandmarkDetector()
+        self.detector = LivenessDetector(self.config)
+        self.combiner = VotingCombiner(self.config.vote_fraction)
+
+    # ------------------------------------------------------------------
+    # Signal extraction
+    # ------------------------------------------------------------------
+
+    def extract_signals(
+        self,
+        transmitted: VideoStream,
+        received: VideoStream,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resample both streams to the working rate and extract the two
+        raw luminance signals, trimmed to a common length."""
+        rate = self.config.sample_rate_hz
+        t_stream = transmitted if transmitted.fps == rate else transmitted.resampled(rate)
+        r_stream = received if received.fps == rate else received.resampled(rate)
+        t_lum = transmitted_luminance_signal(t_stream)
+        r_lum = received_luminance_signal(r_stream, self.landmark_detector).luminance
+        n = min(t_lum.size, r_lum.size)
+        return t_lum[:n], r_lum[:n]
+
+    def clip_features(
+        self,
+        transmitted: VideoStream,
+        received: VideoStream,
+    ) -> FeatureVector:
+        """Features of one clip pair (training-time helper)."""
+        t_lum, r_lum = self.extract_signals(transmitted, received)
+        return extract_features(t_lum, r_lum, self.config).features
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def enroll(self, sessions: Iterable[SessionRecord]) -> "ChatVerifier":
+        """Fit the legitimate bank from genuine session recordings.
+
+        Each session is segmented into clips; every clip contributes one
+        feature vector to the bank.
+        """
+        bank: list[FeatureVector] = []
+        for record in sessions:
+            for t_clip, r_clip in self._paired_clips(record.transmitted, record.received):
+                bank.append(self.clip_features(t_clip, r_clip))
+        if len(bank) < 2:
+            raise ValueError("enrollment needs at least 2 clips of genuine chat")
+        self.detector.fit(bank)
+        return self
+
+    def enroll_features(self, bank: Sequence[FeatureVector]) -> "ChatVerifier":
+        """Fit directly from pre-extracted legitimate feature vectors."""
+        self.detector.fit(bank)
+        return self
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_clip(
+        self,
+        transmitted: VideoStream,
+        received: VideoStream,
+    ) -> DetectionResult:
+        """One detection attempt on one clip pair."""
+        t_lum, r_lum = self.extract_signals(transmitted, received)
+        return self.detector.verify_clip(t_lum, r_lum)
+
+    def verify_session(
+        self,
+        record: SessionRecord,
+    ) -> SessionVerdict:
+        """Segment a session into clips, verify each, majority-vote."""
+        attempts = [
+            self.verify_clip(t_clip, r_clip)
+            for t_clip, r_clip in self._paired_clips(record.transmitted, record.received)
+        ]
+        if not attempts:
+            raise ValueError(
+                "session shorter than one detection clip "
+                f"({self.config.clip_duration_s}s)"
+            )
+        verdict = self.combiner.combine(attempts)
+        return SessionVerdict(verdict=verdict, attempts=tuple(attempts))
+
+    def verify_session_diagnosed(
+        self,
+        record: SessionRecord,
+        min_challenges: int = 1,
+    ) -> DiagnosedVerdict:
+        """Like :meth:`verify_session`, but grade each clip's evidence
+        first and vote only over *conclusive* clips.
+
+        Clips where the verifier issued no challenge (or the face was
+        unusable) prove nothing about the peer; counting them as
+        rejections would punish legitimate users, counting them as
+        acceptances would reward channel-suppressing attackers.
+        """
+        attempts: list[DetectionResult] = []
+        diagnostics: list[ClipDiagnostics] = []
+        for t_clip, r_clip in self._paired_clips(record.transmitted, record.received):
+            t_lum, r_lum = self.extract_signals(t_clip, r_clip)
+            diag = diagnose_clip(
+                t_lum, r_lum, config=self.config, min_challenges=min_challenges
+            )
+            diagnostics.append(diag)
+            if diag.conclusive:
+                attempts.append(self.detector.verify_clip(t_lum, r_lum))
+        if not diagnostics:
+            raise ValueError(
+                "session shorter than one detection clip "
+                f"({self.config.clip_duration_s}s)"
+            )
+        verdict = self.combiner.combine(attempts) if attempts else None
+        return DiagnosedVerdict(
+            verdict=verdict,
+            attempts=tuple(attempts),
+            diagnostics=tuple(diagnostics),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _paired_clips(
+        self,
+        transmitted: VideoStream,
+        received: VideoStream,
+    ) -> list[tuple[VideoStream, VideoStream]]:
+        duration = self.config.clip_duration_s
+        t_clips = transmitted.segments(duration)
+        r_clips = received.segments(duration)
+        return list(zip(t_clips, r_clips))

@@ -1,0 +1,186 @@
+"""Online (streaming) verification during a live call.
+
+The batch :class:`~repro.core.pipeline.ChatVerifier` consumes complete
+recordings; a deployed system instead watches the call *as it happens*:
+frames arrive one by one, a detection attempt fires every clip interval,
+and an alert is raised as soon as the voting rule condemns the peer
+(Sec. III-B: "our detection methods can be triggered multiple times
+during the real-time video chat; if the untrusted user is detected as an
+attacker, an alert will be sent").
+
+:class:`StreamingVerifier` implements that loop:
+
+* ``push(transmitted_frame, received_frame)`` — feed the verifier each
+  tick's pair of frames (what Alice's app already has in hand).
+* every ``clip_duration_s`` worth of samples, a single-clip detection
+  runs and joins the rolling vote window;
+* ``state`` summarizes the call so far; ``on_alert`` fires once, the
+  first time the vote crosses the attacker line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable
+
+import numpy as np
+
+from ..video.frame import Frame
+from ..video.luminance import frame_mean_luminance
+from ..vision.landmarks import LandmarkDetector
+from .config import DetectorConfig
+from .detector import DetectionResult, LivenessDetector
+from .luminance import roi_mean_luminance
+from .roi import nasal_bridge_roi
+from .voting import Verdict, VotingCombiner
+
+__all__ = ["CallStatus", "StreamingState", "StreamingVerifier"]
+
+
+class CallStatus(enum.Enum):
+    """Rolling judgement of the remote peer."""
+
+    GATHERING = "gathering"  # not enough samples for the first attempt
+    LIVE = "live"  # attempts so far accept the peer
+    SUSPICIOUS = "suspicious"  # rejections present but below the vote line
+    ATTACKER = "attacker"  # voting rule crossed; alert raised
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamingState:
+    """Snapshot of a streaming verification session."""
+
+    status: CallStatus
+    samples_buffered: int
+    attempts: tuple[DetectionResult, ...]
+    verdict: Verdict | None
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.attempts)
+
+
+class StreamingVerifier:
+    """Incremental verifier for a live call.
+
+    Parameters
+    ----------
+    detector:
+        A *trained* :class:`LivenessDetector` (the bank can come from any
+        users; see Fig. 11).
+    landmark_detector:
+        Shared landmark detector for the received frames.
+    vote_window:
+        Number of most recent attempts entering the majority vote
+        (``None`` = all attempts since the call began).
+    on_alert:
+        Callback invoked exactly once when the status first becomes
+        :attr:`CallStatus.ATTACKER`; receives the final state.
+    """
+
+    def __init__(
+        self,
+        detector: LivenessDetector,
+        landmark_detector: LandmarkDetector | None = None,
+        vote_window: int | None = None,
+        on_alert: Callable[[StreamingState], None] | None = None,
+    ) -> None:
+        if not detector.is_trained:
+            raise ValueError("the liveness detector must be trained first")
+        if vote_window is not None and vote_window < 1:
+            raise ValueError("vote_window must be >= 1")
+        self.detector = detector
+        self.config: DetectorConfig = detector.config
+        self.landmark_detector = landmark_detector or LandmarkDetector()
+        self.vote_window = vote_window
+        self.on_alert = on_alert
+        self.combiner = VotingCombiner(self.config.vote_fraction)
+
+        self._t_samples: list[float] = []
+        self._r_samples: list[float] = []
+        self._last_roi_value: float | None = None
+        self._attempts: list[DetectionResult] = []
+        self._alerted = False
+
+    # ------------------------------------------------------------------
+
+    def push(self, transmitted: Frame, received: Frame) -> DetectionResult | None:
+        """Feed one tick's frame pair; returns a fresh attempt when one
+        completed on this tick, else ``None``.
+
+        Frames are expected at the detector's sampling rate (the
+        application samples its capture/playout streams at 10 Hz).
+        """
+        self._t_samples.append(frame_mean_luminance(transmitted))
+        self._r_samples.append(self._extract_roi(received))
+        if len(self._t_samples) < self.config.samples_per_clip:
+            return None
+        return self._complete_attempt()
+
+    def _extract_roi(self, received: Frame) -> float:
+        landmarks = self.landmark_detector.detect(received.pixels)
+        value = None
+        if landmarks is not None:
+            value = roi_mean_luminance(received, nasal_bridge_roi(landmarks))
+        if value is None:
+            # Hold-last concealment, mirroring the batch extractor.
+            value = self._last_roi_value if self._last_roi_value is not None else 0.0
+        self._last_roi_value = value
+        return value
+
+    def _complete_attempt(self) -> DetectionResult:
+        t_lum = np.array(self._t_samples)
+        r_lum = np.array(self._r_samples)
+        self._t_samples.clear()
+        self._r_samples.clear()
+        result = self.detector.verify_clip(t_lum, r_lum)
+        self._attempts.append(result)
+        if self.on_alert is not None and not self._alerted:
+            state = self.state
+            if state.status is CallStatus.ATTACKER:
+                self._alerted = True
+                self.on_alert(state)
+        return result
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> StreamingState:
+        """Current rolling judgement."""
+        attempts = self._attempts
+        if self.vote_window is not None:
+            attempts = attempts[-self.vote_window :]
+        if not attempts:
+            return StreamingState(
+                status=CallStatus.GATHERING,
+                samples_buffered=len(self._t_samples),
+                attempts=(),
+                verdict=None,
+            )
+        verdict = self.combiner.combine(attempts)
+        if verdict.is_attacker:
+            status = CallStatus.ATTACKER
+        elif verdict.reject_votes > 0:
+            status = CallStatus.SUSPICIOUS
+        else:
+            status = CallStatus.LIVE
+        return StreamingState(
+            status=status,
+            samples_buffered=len(self._t_samples),
+            attempts=tuple(attempts),
+            verdict=verdict,
+        )
+
+    @property
+    def all_attempts(self) -> tuple[DetectionResult, ...]:
+        """Every attempt since the call began (ignores the vote window)."""
+        return tuple(self._attempts)
+
+    def reset(self) -> None:
+        """Forget all evidence (a new call with the same enrollment)."""
+        self._t_samples.clear()
+        self._r_samples.clear()
+        self._last_roi_value = None
+        self._attempts.clear()
+        self._alerted = False

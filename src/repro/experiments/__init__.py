@@ -1,0 +1,1 @@
+"""Evaluation harness: datasets, metrics, experiment runners."""

@@ -1,0 +1,287 @@
+"""Feature datasets: simulate sessions, extract features, cache to disk.
+
+The paper's dataset (Sec. VIII-A): ten volunteers, each acting both as a
+legitimate user and as a face-reenactment attacker, 40 clips of 15 s per
+role.  Here every clip is one simulated chat session; its two luminance
+signals and its z1..z4 feature vector are stored.
+
+Simulation is the expensive step (~0.6 s per clip on one core), so
+datasets are cached as ``.npz`` under ``.cache/`` keyed by a hash of
+everything that influences the data (environment, detector config,
+population, clip counts, seed, generator version).  Raw luminance
+signals are kept alongside the features because two experiments need
+them: the forgery-delay sweep (Fig. 17) re-shifts genuine signals, and
+the ablation benches re-extract features with modified configs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.features import FeatureVector, extract_features
+from ..core.luminance import received_luminance_signal, transmitted_luminance_signal
+from ..vision.landmarks import LandmarkDetector
+from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile, make_population
+from .simulate import (
+    build_genuine_prover,
+    run_session,
+    simulate_adaptive_attack_session,
+    simulate_attack_session,
+    simulate_genuine_session,
+)
+
+__all__ = ["ClipInstance", "FeatureDataset", "build_dataset", "clip_from_session"]
+
+#: Bump when the generation pipeline changes incompatibly (invalidates caches).
+GENERATOR_VERSION = 10
+
+GENUINE = "genuine"
+ATTACK = "attack"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClipInstance:
+    """One 15-second clip: signals, features, and provenance."""
+
+    user: str
+    role: str  # GENUINE or ATTACK (or e.g. "adaptive:0.5")
+    seed: int
+    features: FeatureVector
+    transmitted_luminance: np.ndarray
+    received_luminance: np.ndarray
+
+    @property
+    def is_genuine(self) -> bool:
+        return self.role == GENUINE
+
+
+class FeatureDataset:
+    """A bag of clip instances with per-user/per-role selectors."""
+
+    def __init__(self, instances: Sequence[ClipInstance]) -> None:
+        self.instances = list(instances)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    @property
+    def users(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for inst in self.instances:
+            seen.setdefault(inst.user, None)
+        return list(seen)
+
+    def select(self, user: str | None = None, role: str | None = None) -> list[ClipInstance]:
+        """Instances filtered by user and/or role."""
+        return [
+            inst
+            for inst in self.instances
+            if (user is None or inst.user == user)
+            and (role is None or inst.role == role)
+        ]
+
+    def features_of(self, user: str | None = None, role: str | None = None) -> np.ndarray:
+        """Feature matrix ``(n, 4)`` of the selected instances."""
+        selected = self.select(user, role)
+        if not selected:
+            return np.empty((0, 4), dtype=np.float64)
+        return np.stack([inst.features.as_array() for inst in selected])
+
+    def merged_with(self, other: "FeatureDataset") -> "FeatureDataset":
+        return FeatureDataset(self.instances + other.instances)
+
+
+def clip_from_session(
+    record,
+    user: str,
+    role: str,
+    seed: int,
+    config: DetectorConfig,
+    landmark_detector: LandmarkDetector | None = None,
+) -> ClipInstance:
+    """Extract one :class:`ClipInstance` from a session record."""
+    detector = landmark_detector or LandmarkDetector()
+    rate = config.sample_rate_hz
+    transmitted = record.transmitted
+    received = record.received
+    if transmitted.fps != rate:
+        transmitted = transmitted.resampled(rate)
+    if received.fps != rate:
+        received = received.resampled(rate)
+    t_lum = transmitted_luminance_signal(transmitted)
+    r_lum = received_luminance_signal(received, detector).luminance
+    n = min(t_lum.size, r_lum.size, config.samples_per_clip)
+    t_lum, r_lum = t_lum[:n], r_lum[:n]
+    features = extract_features(t_lum, r_lum, config).features
+    return ClipInstance(
+        user=user,
+        role=role,
+        seed=seed,
+        features=features,
+        transmitted_luminance=t_lum,
+        received_luminance=r_lum,
+    )
+
+
+def _clip_seed(base_seed: int, user_index: int, role: str, clip_index: int) -> int:
+    """Stable per-clip seed."""
+    digest = hashlib.sha256(
+        f"{base_seed}:{user_index}:{role}:{clip_index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def _generate_clip(
+    user: UserProfile,
+    user_index: int,
+    role: str,
+    clip_index: int,
+    env: Environment,
+    config: DetectorConfig,
+    base_seed: int,
+) -> ClipInstance:
+    seed = _clip_seed(base_seed, user_index, role, clip_index)
+    duration = config.clip_duration_s
+    if role == GENUINE:
+        record = simulate_genuine_session(duration_s=duration, seed=seed, env=env, user=user)
+    elif role == ATTACK:
+        record = simulate_attack_session(duration_s=duration, seed=seed, env=env, victim=user)
+    elif role.startswith("adaptive:"):
+        delay = float(role.split(":", 1)[1])
+        record = simulate_adaptive_attack_session(
+            processing_delay_s=delay, duration_s=duration, seed=seed, env=env, victim=user
+        )
+    else:
+        raise ValueError(f"unknown role {role!r}")
+    return clip_from_session(record, user.name, role, seed, config)
+
+
+def _cache_key(
+    population: Sequence[UserProfile],
+    clips_per_role: int,
+    roles: Sequence[str],
+    env: Environment,
+    config: DetectorConfig,
+    base_seed: int,
+) -> str:
+    payload = {
+        "version": GENERATOR_VERSION,
+        "users": [(u.name, u.seed, u.movement_amplitude, u.blink_rate_hz, u.talking) for u in population],
+        "clips_per_role": clips_per_role,
+        "roles": list(roles),
+        "env": dataclasses.asdict(env),
+        "config": dataclasses.asdict(config),
+        "base_seed": base_seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:20]
+
+
+def _default_cache_dir() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[3] / ".cache" / "datasets"
+
+
+def _save(path: pathlib.Path, dataset: FeatureDataset) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = len(dataset)
+    t_len = max((inst.transmitted_luminance.size for inst in dataset.instances), default=0)
+    t_sig = np.zeros((n, t_len))
+    r_sig = np.zeros((n, t_len))
+    lengths = np.zeros(n, dtype=np.int64)
+    feats = np.zeros((n, 4))
+    seeds = np.zeros(n, dtype=np.int64)
+    users = []
+    roles = []
+    for i, inst in enumerate(dataset.instances):
+        m = inst.transmitted_luminance.size
+        lengths[i] = m
+        t_sig[i, :m] = inst.transmitted_luminance
+        r_sig[i, : inst.received_luminance.size] = inst.received_luminance
+        feats[i] = inst.features.as_array()
+        seeds[i] = inst.seed
+        users.append(inst.user)
+        roles.append(inst.role)
+    np.savez_compressed(
+        path,
+        t_sig=t_sig,
+        r_sig=r_sig,
+        lengths=lengths,
+        feats=feats,
+        seeds=seeds,
+        users=np.array(users),
+        roles=np.array(roles),
+    )
+
+
+def _load(path: pathlib.Path) -> FeatureDataset:
+    data = np.load(path, allow_pickle=False)
+    instances = []
+    for i in range(data["feats"].shape[0]):
+        m = int(data["lengths"][i])
+        instances.append(
+            ClipInstance(
+                user=str(data["users"][i]),
+                role=str(data["roles"][i]),
+                seed=int(data["seeds"][i]),
+                features=FeatureVector.from_array(data["feats"][i]),
+                transmitted_luminance=data["t_sig"][i, :m].copy(),
+                received_luminance=data["r_sig"][i, :m].copy(),
+            )
+        )
+    return FeatureDataset(instances)
+
+
+def build_dataset(
+    population: Sequence[UserProfile] | None = None,
+    clips_per_role: int = 40,
+    roles: Sequence[str] = (GENUINE, ATTACK),
+    env: Environment | None = None,
+    config: DetectorConfig | None = None,
+    base_seed: int = 1234,
+    cache_dir: pathlib.Path | str | None = None,
+    use_cache: bool = True,
+    progress: bool = False,
+) -> FeatureDataset:
+    """Simulate (or load from cache) a full evaluation dataset.
+
+    Defaults mirror the paper: ten users, two roles, 40 clips each.
+    """
+    population = list(population) if population is not None else make_population()
+    env = env or DEFAULT_ENVIRONMENT
+    config = config or DetectorConfig()
+    if clips_per_role < 1:
+        raise ValueError("clips_per_role must be >= 1")
+
+    cache_path = None
+    if use_cache:
+        directory = pathlib.Path(cache_dir) if cache_dir else _default_cache_dir()
+        key = _cache_key(population, clips_per_role, roles, env, config, base_seed)
+        cache_path = directory / f"dataset_{key}.npz"
+        if cache_path.exists():
+            return _load(cache_path)
+
+    instances: list[ClipInstance] = []
+    total = len(population) * len(roles) * clips_per_role
+    done = 0
+    for user_index, user in enumerate(population):
+        for role in roles:
+            for clip_index in range(clips_per_role):
+                instances.append(
+                    _generate_clip(
+                        user, user_index, role, clip_index, env, config, base_seed
+                    )
+                )
+                done += 1
+                if progress and done % 50 == 0:
+                    print(f"  dataset: {done}/{total} clips", flush=True)
+    dataset = FeatureDataset(instances)
+    if cache_path is not None:
+        _save(cache_path, dataset)
+    return dataset

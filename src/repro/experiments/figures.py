@@ -1,0 +1,220 @@
+"""One-call regeneration of every paper figure.
+
+The benchmark harness (``pytest benchmarks/ --benchmark-only``) is the
+canonical way to reproduce the evaluation — it also times and asserts
+each figure.  This module is the lightweight sibling for scripting and
+the CLI: each ``figure_*`` function runs one experiment and returns the
+figure's rows as printable lines; :func:`generate_all` writes the whole
+set to a directory.
+
+    python -m repro.experiments.figures --out results/
+
+Datasets are shared with the benchmarks through the same on-disk cache,
+so whichever runs first pays the simulation cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from .dataset import FeatureDataset, build_dataset
+from .profiles import DEFAULT_ENVIRONMENT
+from .runner import (
+    run_ambient_light,
+    run_attempts,
+    run_forgery_delay,
+    run_overall,
+    run_sampling_rate,
+    run_screen_size,
+    run_threshold_sweep,
+    run_training_size,
+)
+
+__all__ = [
+    "figure_11_overall",
+    "figure_12_threshold",
+    "figure_13_screen_size",
+    "figure_14_attempts",
+    "figure_15_training_size",
+    "figure_16_sampling_rate",
+    "figure_17_forgery_delay",
+    "figure_ambient_light",
+    "generate_all",
+]
+
+
+def _main_dataset() -> FeatureDataset:
+    return build_dataset(clips_per_role=40)
+
+
+def figure_11_overall(dataset: FeatureDataset | None = None) -> list[str]:
+    """Fig. 11: per-user TAR/TRR, own vs others' training data."""
+    dataset = dataset or _main_dataset()
+    result = run_overall(dataset, rounds=20, train_size=20)
+    lines = [
+        "Fig. 11 single-detection performance",
+        f"{'user':8s} {'TAR(own)':>10s} {'TAR(other)':>11s} {'TRR':>8s}",
+    ]
+    for u in result.per_user:
+        lines.append(
+            f"{u.user:8s} {u.tar_own_mean:10.3f} {u.tar_other_mean:11.3f} {u.trr_mean:8.3f}"
+        )
+    lines.append(
+        f"{'AVERAGE':8s} {result.avg_tar_own:10.3f} "
+        f"{result.avg_tar_other:11.3f} {result.avg_trr:8.3f}"
+    )
+    return lines
+
+
+def figure_12_threshold(dataset: FeatureDataset | None = None) -> list[str]:
+    """Fig. 12: FAR/FRR across the decision threshold, EER."""
+    dataset = dataset or _main_dataset()
+    result = run_threshold_sweep(dataset, rounds=10, train_size=20)
+    lines = ["Fig. 12 FAR/FRR vs tau", f"{'tau':>5s} {'FAR':>8s} {'FRR':>8s}"]
+    for tau, far, frr in zip(result.thresholds, result.far, result.frr):
+        lines.append(f"{tau:5.2f} {far:8.4f} {frr:8.4f}")
+    lines.append(f"EER = {result.eer:.4f} at tau = {result.eer_threshold:.2f}")
+    return lines
+
+
+def figure_13_screen_size() -> list[str]:
+    """Fig. 13: performance vs screen size (incl. the phone cases)."""
+    from ..screen.display import PHONE_6_OLED, SCREEN_SIZE_LADDER
+
+    screens = [
+        (f'{s.diagonal_in:g}"', DEFAULT_ENVIRONMENT.replace(screen=s))
+        for s in SCREEN_SIZE_LADDER
+    ]
+    screens.append(('6" phone @0.5m', DEFAULT_ENVIRONMENT.replace(screen=PHONE_6_OLED)))
+    screens.append(
+        (
+            '6" phone @0.1m',
+            DEFAULT_ENVIRONMENT.replace(screen=PHONE_6_OLED, viewing_distance_m=0.1),
+        )
+    )
+    result = run_screen_size(screens)
+    lines = ["Fig. 13 performance vs screen size", f"{'screen':>16s} {'TAR':>8s} {'TRR':>8s}"]
+    for p in result.points:
+        lines.append(f"{p.label:>16s} {p.tar_mean:8.3f} {p.trr_mean:8.3f}")
+    return lines
+
+
+def figure_14_attempts(dataset: FeatureDataset | None = None) -> list[str]:
+    """Fig. 14: majority voting over D attempts."""
+    dataset = dataset or _main_dataset()
+    result = run_attempts(dataset, rounds=10, trials_per_round=10, train_size=20)
+    lines = [
+        "Fig. 14 accuracy vs attempts",
+        f"{'D':>3s} {'TAR(own)':>10s} {'TAR(other)':>11s} {'TRR':>8s}",
+    ]
+    for i, d in enumerate(result.attempts):
+        lines.append(
+            f"{d:3d} {result.tar_own_mean[i]:10.3f} "
+            f"{result.tar_other_mean[i]:11.3f} {result.trr_mean[i]:8.3f}"
+        )
+    return lines
+
+
+def figure_15_training_size(dataset: FeatureDataset | None = None) -> list[str]:
+    """Fig. 15: accuracy vs training-set size."""
+    dataset = dataset or _main_dataset()
+    result = run_training_size(dataset, rounds=20)
+    lines = [
+        "Fig. 15 accuracy vs training-set size",
+        f"{'n':>3s} {'TAR':>8s} {'+-':>6s} {'TRR':>8s} {'+-':>6s}",
+    ]
+    for i, n in enumerate(result.sizes):
+        lines.append(
+            f"{n:3d} {result.tar_mean[i]:8.3f} {result.tar_std[i]:6.3f} "
+            f"{result.trr_mean[i]:8.3f} {result.trr_std[i]:6.3f}"
+        )
+    return lines
+
+
+def figure_16_sampling_rate() -> list[str]:
+    """Fig. 16: performance vs sampling rate."""
+    result = run_sampling_rate()
+    lines = ["Fig. 16 performance vs sampling rate", f"{'rate':>8s} {'TAR':>8s} {'TRR':>8s}"]
+    for p in result.points:
+        lines.append(f"{p.label:>8s} {p.tar_mean:8.3f} {p.trr_mean:8.3f}")
+    return lines
+
+
+def figure_17_forgery_delay(dataset: FeatureDataset | None = None) -> list[str]:
+    """Fig. 17: rejection rate vs forgery processing delay."""
+    dataset = dataset or _main_dataset()
+    result = run_forgery_delay(dataset, rounds=3, train_size=20, max_clips_per_user=10)
+    lines = ["Fig. 17 rejection vs forgery delay", f"{'delay':>7s} {'rejection':>10s}"]
+    for delay, rejection in zip(result.delays_s, result.rejection_rate):
+        lines.append(f"{delay:7.1f} {rejection:10.3f}")
+    return lines
+
+
+def figure_ambient_light() -> list[str]:
+    """Sec. VIII-I: performance vs ambient illuminance."""
+    result = run_ambient_light()
+    lines = ["Sec. VIII-I performance vs ambient light", f"{'ambient':>10s} {'TAR':>8s} {'TRR':>8s}"]
+    for p in result.points:
+        lines.append(f"{p.label:>10s} {p.tar_mean:8.3f} {p.trr_mean:8.3f}")
+    return lines
+
+
+#: Registry: figure name -> (needs main dataset, generator).
+FIGURES: dict[str, tuple[bool, Callable[..., list[str]]]] = {
+    "fig11": (True, figure_11_overall),
+    "fig12": (True, figure_12_threshold),
+    "fig13": (False, figure_13_screen_size),
+    "fig14": (True, figure_14_attempts),
+    "fig15": (True, figure_15_training_size),
+    "fig16": (False, figure_16_sampling_rate),
+    "fig17": (True, figure_17_forgery_delay),
+    "ambient": (False, figure_ambient_light),
+}
+
+
+def generate_all(
+    out_dir: pathlib.Path | str,
+    only: Sequence[str] | None = None,
+    echo: bool = True,
+) -> dict[str, list[str]]:
+    """Regenerate the selected figures and write one text file each."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = list(only) if only else list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        raise ValueError(f"unknown figures: {unknown}; available: {sorted(FIGURES)}")
+
+    dataset = _main_dataset() if any(FIGURES[n][0] for n in names) else None
+    results: dict[str, list[str]] = {}
+    for name in names:
+        needs_dataset, generator = FIGURES[name]
+        lines = generator(dataset) if needs_dataset else generator()
+        results[name] = lines
+        (out / f"{name}.txt").write_text("\n".join(lines) + "\n")
+        if echo:
+            print("\n".join(lines))
+            print()
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(FIGURES),
+        help="subset of figures to regenerate",
+    )
+    args = parser.parse_args(argv)
+    generate_all(args.out, only=args.only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

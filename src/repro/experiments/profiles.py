@@ -1,0 +1,113 @@
+"""Synthetic volunteer population and environment settings.
+
+Stand-in for the paper's testbed (Sec. VIII-A): ten volunteers (diverse
+skin tones, some with glasses), a Dell 27-inch LED monitor at 85 %
+brightness, ~50 cm viewing distance, a stable indoor environment, and a
+consumer network path.  Every experiment draws its sessions from these
+profiles so that sweeps (screen size, ambient light, sampling rate, ...)
+change exactly one knob at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..screen.display import DELL_27_LED, ScreenSpec
+from ..vision.face_model import FaceModel, make_face
+
+__all__ = ["UserProfile", "Environment", "make_population", "DEFAULT_ENVIRONMENT"]
+
+
+@dataclasses.dataclass(frozen=True)
+class UserProfile:
+    """One synthetic volunteer (the untrusted-user role)."""
+
+    name: str
+    face: FaceModel
+    seed: int
+    movement_amplitude: float = 0.02
+    blink_rate_hz: float = 0.25
+    talking: bool = True
+
+    def __post_init__(self) -> None:
+        if self.movement_amplitude < 0:
+            raise ValueError("movement_amplitude must be non-negative")
+        if self.blink_rate_hz < 0:
+            raise ValueError("blink_rate_hz must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class Environment:
+    """Everything about the testbed that is not the person.
+
+    The defaults mirror the paper's setup; the figure sweeps construct
+    modified copies via :func:`dataclasses.replace`.
+    """
+
+    screen: ScreenSpec = DELL_27_LED
+    viewing_distance_m: float = 0.5
+    prover_ambient_lux: float = 50.0
+    prover_ambient_event_rate_hz: float = 0.006
+    verifier_ambient_lux: float = 90.0
+    uplink_delay_s: float = 0.08
+    downlink_delay_s: float = 0.08
+    jitter_s: float = 0.01
+    loss_rate: float = 0.005
+    playout_delay_s: float = 0.12
+    fps: float = 10.0
+    frame_size: tuple[int, int] = (96, 96)
+    verifier_frame_size: tuple[int, int] = (64, 64)
+
+    def __post_init__(self) -> None:
+        if self.viewing_distance_m <= 0:
+            raise ValueError("viewing_distance_m must be positive")
+        if self.prover_ambient_lux < 0 or self.verifier_ambient_lux < 0:
+            raise ValueError("ambient levels must be non-negative")
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    def replace(self, **changes: object) -> "Environment":
+        """Copy with the given fields changed (sweep helper)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: The paper's nominal testbed.
+DEFAULT_ENVIRONMENT = Environment()
+
+_TONE_CYCLE = ("light", "tan", "medium", "brown", "dark")
+
+
+def make_population(count: int = 10, seed: int = 42) -> list[UserProfile]:
+    """Build the volunteer roster (paper: ten, diverse skin colors).
+
+    Tones cycle through the full ladder so both dark and light skin are
+    always represented; a few volunteers wear glasses; movement ranges
+    vary per person.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+    users = []
+    for i in range(count):
+        tone = _TONE_CYCLE[i % len(_TONE_CYCLE)]
+        has_glasses = i % 4 == 3
+        user_seed = int(rng.integers(0, 2**31 - 1))
+        face = make_face(
+            name=f"user_{i}",
+            tone=tone,
+            rng=np.random.default_rng(user_seed),
+            has_glasses=has_glasses,
+        )
+        users.append(
+            UserProfile(
+                name=f"user_{i}",
+                face=face,
+                seed=user_seed,
+                movement_amplitude=float(rng.uniform(0.01, 0.035)),
+                blink_rate_hz=float(rng.uniform(0.15, 0.35)),
+                talking=bool(rng.random() < 0.8),
+            )
+        )
+    return users

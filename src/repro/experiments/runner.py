@@ -1,0 +1,620 @@
+"""Experiment runners: one function per paper figure/table.
+
+Each runner consumes a :class:`~repro.experiments.dataset.FeatureDataset`
+(or builds sweep-specific ones), replays the paper's training/testing
+protocol, and returns a small result dataclass that the benchmark
+harness prints as the figure's rows/series.
+
+Protocol (Sec. VIII-C): per volunteer, 20 rounds; in each round 20
+randomly-picked genuine instances train the LOF model and the remaining
+instances test it; attacks are scored against the same trained model.
+"Own" training uses the tested volunteer's clips, "other" training uses a
+different volunteer's clips — the paper's no-new-user-training property.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.features import extract_features
+from ..core.lof import LocalOutlierFactor
+from ..core.voting import VotingCombiner
+from .dataset import ATTACK, GENUINE, FeatureDataset, build_dataset
+from .metrics import equal_error_rate
+from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile, make_population
+
+__all__ = [
+    "UserPerformance",
+    "OverallResult",
+    "ThresholdSweepResult",
+    "AttemptsResult",
+    "TrainingSizeResult",
+    "SweepPoint",
+    "RateSweepResult",
+    "DelaySweepResult",
+    "run_overall",
+    "run_threshold_sweep",
+    "run_attempts",
+    "run_training_size",
+    "run_screen_size",
+    "run_sampling_rate",
+    "run_ambient_light",
+    "run_forgery_delay",
+    "score_round",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _fit_lof(train: np.ndarray, config: DetectorConfig) -> LocalOutlierFactor:
+    model = LocalOutlierFactor(n_neighbors=config.lof_neighbors)
+    return model.fit(train)
+
+
+def score_round(
+    genuine: np.ndarray,
+    attacks: np.ndarray,
+    train_size: int,
+    config: DetectorConfig,
+    rng: np.random.Generator,
+    train_pool: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One protocol round: fit on ``train_size`` sampled training vectors,
+    return (genuine test scores, attack scores).
+
+    When ``train_pool`` is None the tested user's own genuine vectors are
+    split into train/test; otherwise the pool provides the training
+    sample ("other user" training) and *all* genuine vectors are tested.
+    """
+    if genuine.shape[0] < 2:
+        raise ValueError("need at least 2 genuine instances")
+    if train_pool is None:
+        perm = rng.permutation(genuine.shape[0])
+        train = genuine[perm[:train_size]]
+        test = genuine[perm[train_size:]]
+        if test.shape[0] == 0:
+            raise ValueError("train_size consumes every genuine instance")
+    else:
+        idx = rng.choice(train_pool.shape[0], size=min(train_size, train_pool.shape[0]), replace=False)
+        train = train_pool[idx]
+        test = genuine
+    model = _fit_lof(train, config)
+    genuine_scores = model.score_samples(test)
+    attack_scores = (
+        model.score_samples(attacks) if attacks.shape[0] else np.empty(0)
+    )
+    return genuine_scores, attack_scores
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — overall TAR / TRR per user, own vs other training
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class UserPerformance:
+    """Fig. 11 bars for one volunteer."""
+
+    user: str
+    tar_own_mean: float
+    tar_own_std: float
+    tar_other_mean: float
+    tar_other_std: float
+    trr_mean: float
+    trr_std: float
+
+
+@dataclasses.dataclass(frozen=True)
+class OverallResult:
+    """Fig. 11: per-user and averaged single-detection performance."""
+
+    per_user: tuple[UserPerformance, ...]
+    avg_tar_own: float
+    avg_tar_other: float
+    avg_trr: float
+
+
+def run_overall(
+    dataset: FeatureDataset,
+    config: DetectorConfig | None = None,
+    rounds: int = 20,
+    train_size: int = 20,
+    seed: int = 7,
+) -> OverallResult:
+    """Reproduce Fig. 11 (Sec. VIII-C)."""
+    config = config or DetectorConfig()
+    rng = np.random.default_rng(seed)
+    users = dataset.users
+    if len(users) < 2:
+        raise ValueError("overall evaluation needs at least 2 users")
+    threshold = config.lof_threshold
+    per_user: list[UserPerformance] = []
+    for i, user in enumerate(users):
+        genuine = dataset.features_of(user, GENUINE)
+        attacks = dataset.features_of(user, ATTACK)
+        other = dataset.features_of(users[(i + 1) % len(users)], GENUINE)
+        tars_own, tars_other, trrs = [], [], []
+        for _ in range(rounds):
+            g_scores, a_scores = score_round(genuine, attacks, train_size, config, rng)
+            tars_own.append(float((g_scores <= threshold).mean()))
+            if a_scores.size:
+                trrs.append(float((a_scores > threshold).mean()))
+            g_scores_other, _ = score_round(
+                genuine, np.empty((0, 4)), train_size, config, rng, train_pool=other
+            )
+            tars_other.append(float((g_scores_other <= threshold).mean()))
+        per_user.append(
+            UserPerformance(
+                user=user,
+                tar_own_mean=float(np.mean(tars_own)),
+                tar_own_std=float(np.std(tars_own)),
+                tar_other_mean=float(np.mean(tars_other)),
+                tar_other_std=float(np.std(tars_other)),
+                trr_mean=float(np.mean(trrs)) if trrs else float("nan"),
+                trr_std=float(np.std(trrs)) if trrs else float("nan"),
+            )
+        )
+    return OverallResult(
+        per_user=tuple(per_user),
+        avg_tar_own=float(np.mean([u.tar_own_mean for u in per_user])),
+        avg_tar_other=float(np.mean([u.tar_other_mean for u in per_user])),
+        avg_trr=float(np.mean([u.trr_mean for u in per_user])),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — decision-threshold sweep, EER
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ThresholdSweepResult:
+    """Fig. 12: FAR/FRR across the decision threshold."""
+
+    thresholds: np.ndarray
+    far: np.ndarray
+    frr: np.ndarray
+    eer: float
+    eer_threshold: float
+
+
+def run_threshold_sweep(
+    dataset: FeatureDataset,
+    config: DetectorConfig | None = None,
+    thresholds: Sequence[float] | None = None,
+    rounds: int = 20,
+    train_size: int = 20,
+    seed: int = 11,
+) -> ThresholdSweepResult:
+    """Reproduce Fig. 12 (Sec. VIII-D).
+
+    LOF scores do not depend on the threshold, so each round is scored
+    once and every threshold reads from the pooled score arrays.
+    """
+    config = config or DetectorConfig()
+    if thresholds is None:
+        thresholds = np.arange(1.5, 4.01, 0.25)
+    thresholds = np.asarray(list(thresholds), dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    genuine_scores: list[np.ndarray] = []
+    attack_scores: list[np.ndarray] = []
+    for user in dataset.users:
+        genuine = dataset.features_of(user, GENUINE)
+        attacks = dataset.features_of(user, ATTACK)
+        for _ in range(rounds):
+            g, a = score_round(genuine, attacks, train_size, config, rng)
+            genuine_scores.append(g)
+            attack_scores.append(a)
+    g_all = np.concatenate(genuine_scores)
+    a_all = np.concatenate(attack_scores)
+    far = np.array([float((a_all <= t).mean()) for t in thresholds])
+    frr = np.array([float((g_all > t).mean()) for t in thresholds])
+    eer, eer_threshold = equal_error_rate(g_all, a_all)
+    return ThresholdSweepResult(
+        thresholds=thresholds, far=far, frr=frr, eer=eer, eer_threshold=eer_threshold
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 — number of detection attempts (majority voting)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AttemptsResult:
+    """Fig. 14: accuracy vs number of voting attempts."""
+
+    attempts: tuple[int, ...]
+    tar_own_mean: np.ndarray
+    tar_own_std: np.ndarray
+    tar_other_mean: np.ndarray
+    tar_other_std: np.ndarray
+    trr_mean: np.ndarray
+    trr_std: np.ndarray
+
+
+def run_attempts(
+    dataset: FeatureDataset,
+    config: DetectorConfig | None = None,
+    attempts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    rounds: int = 20,
+    trials_per_round: int = 10,
+    train_size: int = 20,
+    seed: int = 13,
+) -> AttemptsResult:
+    """Reproduce Fig. 14 (Sec. VIII-F): majority voting over D attempts."""
+    config = config or DetectorConfig()
+    combiner = VotingCombiner(config.vote_fraction)
+    rng = np.random.default_rng(seed)
+    threshold = config.lof_threshold
+    users = dataset.users
+
+    acc_own: dict[int, list[float]] = {d: [] for d in attempts}
+    acc_other: dict[int, list[float]] = {d: [] for d in attempts}
+    rej: dict[int, list[float]] = {d: [] for d in attempts}
+
+    for i, user in enumerate(users):
+        genuine = dataset.features_of(user, GENUINE)
+        attacks = dataset.features_of(user, ATTACK)
+        other = dataset.features_of(users[(i + 1) % len(users)], GENUINE)
+        for _ in range(rounds):
+            g_own, a_own = score_round(genuine, attacks, train_size, config, rng)
+            g_other, _ = score_round(
+                genuine, np.empty((0, 4)), train_size, config, rng, train_pool=other
+            )
+            for d in attempts:
+                for scores, sink, attacker_truth in (
+                    (g_own, acc_own, False),
+                    (g_other, acc_other, False),
+                    (a_own, rej, True),
+                ):
+                    if scores.size == 0:
+                        continue
+                    correct = 0
+                    for _ in range(trials_per_round):
+                        picked = rng.choice(scores, size=d, replace=True)
+                        verdict = combiner.combine_bools(list(picked > threshold))
+                        if verdict.is_attacker == attacker_truth:
+                            correct += 1
+                    sink[d].append(correct / trials_per_round)
+
+    return AttemptsResult(
+        attempts=tuple(attempts),
+        tar_own_mean=np.array([np.mean(acc_own[d]) for d in attempts]),
+        tar_own_std=np.array([np.std(acc_own[d]) for d in attempts]),
+        tar_other_mean=np.array([np.mean(acc_other[d]) for d in attempts]),
+        tar_other_std=np.array([np.std(acc_other[d]) for d in attempts]),
+        trr_mean=np.array([np.mean(rej[d]) for d in attempts]),
+        trr_std=np.array([np.std(rej[d]) for d in attempts]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — number of training instances
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingSizeResult:
+    """Fig. 15: accuracy vs training-set size (one volunteer)."""
+
+    sizes: tuple[int, ...]
+    tar_mean: np.ndarray
+    tar_std: np.ndarray
+    trr_mean: np.ndarray
+    trr_std: np.ndarray
+
+
+def run_training_size(
+    dataset: FeatureDataset,
+    user: str | None = None,
+    config: DetectorConfig | None = None,
+    sizes: Sequence[int] = (4, 8, 12, 16, 20),
+    rounds: int = 20,
+    seed: int = 17,
+) -> TrainingSizeResult:
+    """Reproduce Fig. 15 (Sec. VIII-G)."""
+    config = config or DetectorConfig()
+    rng = np.random.default_rng(seed)
+    user = user or dataset.users[0]
+    genuine = dataset.features_of(user, GENUINE)
+    attacks = dataset.features_of(user, ATTACK)
+    threshold = config.lof_threshold
+    tar_mean, tar_std, trr_mean, trr_std = [], [], [], []
+    for size in sizes:
+        tars, trrs = [], []
+        for _ in range(rounds):
+            g, a = score_round(genuine, attacks, size, config, rng)
+            tars.append(float((g <= threshold).mean()))
+            trrs.append(float((a > threshold).mean()))
+        tar_mean.append(np.mean(tars))
+        tar_std.append(np.std(tars))
+        trr_mean.append(np.mean(trrs))
+        trr_std.append(np.std(trrs))
+    return TrainingSizeResult(
+        sizes=tuple(sizes),
+        tar_mean=np.array(tar_mean),
+        tar_std=np.array(tar_std),
+        trr_mean=np.array(trr_mean),
+        trr_std=np.array(trr_std),
+    )
+
+
+# ----------------------------------------------------------------------
+# Environment sweeps: screen size (Fig. 13), sampling rate (Fig. 16),
+# ambient light (Sec. VIII-I)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of an environment sweep."""
+
+    label: str
+    tar_mean: float
+    tar_std: float
+    trr_mean: float
+    trr_std: float
+
+
+@dataclasses.dataclass(frozen=True)
+class RateSweepResult:
+    """A labelled series of sweep points."""
+
+    name: str
+    points: tuple[SweepPoint, ...]
+
+
+def _evaluate_dataset(
+    dataset: FeatureDataset,
+    config: DetectorConfig,
+    rounds: int,
+    train_size: int,
+    rng: np.random.Generator,
+    train_dataset: FeatureDataset | None = None,
+) -> tuple[float, float, float, float]:
+    """Pooled TAR/TRR (mean, std over rounds) across the dataset's users.
+
+    When ``train_dataset`` is given, each user's LOF bank is drawn from
+    *that* dataset (the nominal condition) while testing happens on
+    ``dataset`` (the swept condition) — the deployment-faithful protocol
+    for environment sweeps.  Training per swept condition would let a
+    degenerate environment (no reflection at all) collapse genuine and
+    attack features onto the same point and report a flattering TAR with
+    zero real security.
+    """
+    threshold = config.lof_threshold
+    tars, trrs = [], []
+    for user in dataset.users:
+        genuine = dataset.features_of(user, GENUINE)
+        attacks = dataset.features_of(user, ATTACK)
+        if train_dataset is None:
+            effective_train = min(train_size, genuine.shape[0] - 1)
+            pool = None
+        else:
+            pool = train_dataset.features_of(user, GENUINE)
+            if pool.shape[0] < 2:
+                raise ValueError(f"train dataset lacks genuine clips for {user!r}")
+            effective_train = min(train_size, pool.shape[0])
+        for _ in range(rounds):
+            g, a = score_round(
+                genuine, attacks, effective_train, config, rng, train_pool=pool
+            )
+            tars.append(float((g <= threshold).mean()))
+            if a.size:
+                trrs.append(float((a > threshold).mean()))
+    return (
+        float(np.mean(tars)),
+        float(np.std(tars)),
+        float(np.mean(trrs)) if trrs else float("nan"),
+        float(np.std(trrs)) if trrs else float("nan"),
+    )
+
+
+def run_screen_size(
+    screens: Sequence[tuple[str, Environment]],
+    population: Sequence[UserProfile] | None = None,
+    config: DetectorConfig | None = None,
+    train_env: Environment | None = None,
+    clips_per_role: int = 20,
+    rounds: int = 10,
+    train_size: int = 10,
+    seed: int = 19,
+    progress: bool = False,
+) -> RateSweepResult:
+    """Reproduce Fig. 13 (Sec. VIII-E): performance vs screen size.
+
+    ``screens`` is a list of (label, environment) pairs — environments
+    differ in ``screen`` and possibly ``viewing_distance_m`` (the paper's
+    6-inch-phone-at-10-cm observation).  Training banks come from the
+    ``train_env`` (nominal testbed) dataset: the system is enrolled once
+    and then used in front of whatever screen the user has.
+    """
+    config = config or DetectorConfig()
+    population = list(population) if population is not None else make_population(4)
+    rng = np.random.default_rng(seed)
+    train_dataset = build_dataset(
+        population=population,
+        clips_per_role=clips_per_role,
+        env=train_env or DEFAULT_ENVIRONMENT,
+        config=config,
+        progress=progress,
+    )
+    points = []
+    for label, env in screens:
+        dataset = build_dataset(
+            population=population,
+            clips_per_role=clips_per_role,
+            env=env,
+            config=config,
+            progress=progress,
+        )
+        tar_m, tar_s, trr_m, trr_s = _evaluate_dataset(
+            dataset, config, rounds, train_size, rng, train_dataset=train_dataset
+        )
+        points.append(SweepPoint(label, tar_m, tar_s, trr_m, trr_s))
+    return RateSweepResult(name="screen size", points=tuple(points))
+
+
+def run_sampling_rate(
+    rates_hz: Sequence[float] = (5.0, 8.0, 10.0),
+    population: Sequence[UserProfile] | None = None,
+    config: DetectorConfig | None = None,
+    env: Environment | None = None,
+    clips_per_role: int = 40,
+    rounds: int = 20,
+    train_size: int = 20,
+    seed: int = 23,
+    progress: bool = False,
+) -> RateSweepResult:
+    """Reproduce Fig. 16 (Sec. VIII-H): performance vs sampling rate.
+
+    The paper uses one volunteer; the default population does too.  The
+    filter-chain windows stay fixed *in samples* (the paper specifies
+    them that way), which is precisely why low rates collapse: at 5 Hz
+    the 30-sample RMS window spans 6 s and smears neighbouring changes
+    together.
+
+    Unlike the environment sweeps, training happens *at the swept rate*:
+    the sampling rate is a detector build-time choice, so a 5 Hz system
+    would also have enrolled at 5 Hz.
+    """
+    base_config = config or DetectorConfig()
+    env = env or DEFAULT_ENVIRONMENT
+    population = list(population) if population is not None else make_population(1)
+    rng = np.random.default_rng(seed)
+    points = []
+    for rate in rates_hz:
+        rate_config = base_config.replace(sample_rate_hz=float(rate))
+        dataset = build_dataset(
+            population=population,
+            clips_per_role=clips_per_role,
+            env=env,
+            config=rate_config,
+            progress=progress,
+        )
+        tar_m, tar_s, trr_m, trr_s = _evaluate_dataset(
+            dataset, rate_config, rounds, train_size, rng
+        )
+        points.append(SweepPoint(f"{rate:g} Hz", tar_m, tar_s, trr_m, trr_s))
+    return RateSweepResult(name="sampling rate", points=tuple(points))
+
+
+def run_ambient_light(
+    lux_levels: Sequence[float] = (50.0, 120.0, 240.0),
+    population: Sequence[UserProfile] | None = None,
+    config: DetectorConfig | None = None,
+    env: Environment | None = None,
+    clips_per_role: int = 20,
+    rounds: int = 10,
+    train_size: int = 10,
+    seed: int = 29,
+    progress: bool = False,
+) -> RateSweepResult:
+    """Reproduce Sec. VIII-I: performance vs ambient illuminance."""
+    config = config or DetectorConfig()
+    base_env = env or DEFAULT_ENVIRONMENT
+    population = list(population) if population is not None else make_population(2)
+    rng = np.random.default_rng(seed)
+    # Enrollment happens in the nominal room; the sweep changes the room.
+    train_dataset = build_dataset(
+        population=population,
+        clips_per_role=clips_per_role,
+        env=base_env,
+        config=config,
+        progress=progress,
+    )
+    points = []
+    for lux in lux_levels:
+        sweep_env = base_env.replace(prover_ambient_lux=float(lux))
+        dataset = build_dataset(
+            population=population,
+            clips_per_role=clips_per_role,
+            env=sweep_env,
+            config=config,
+            progress=progress,
+        )
+        tar_m, tar_s, trr_m, trr_s = _evaluate_dataset(
+            dataset, config, rounds, train_size, rng, train_dataset=train_dataset
+        )
+        points.append(SweepPoint(f"{lux:g} lux", tar_m, tar_s, trr_m, trr_s))
+    return RateSweepResult(name="ambient light", points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 — forgery processing delay
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class DelaySweepResult:
+    """Fig. 17: rejection rate vs forgery processing delay."""
+
+    delays_s: np.ndarray
+    rejection_rate: np.ndarray
+
+
+def run_forgery_delay(
+    dataset: FeatureDataset,
+    config: DetectorConfig | None = None,
+    delays_s: Sequence[float] = (0.0, 0.3, 0.5, 0.8, 1.0, 1.3, 1.6, 2.0, 2.5, 3.0),
+    rounds: int = 5,
+    train_size: int = 20,
+    max_clips_per_user: int = 20,
+    seed: int = 31,
+) -> DelaySweepResult:
+    """Reproduce Fig. 17 (Sec. VIII-J).
+
+    The paper's method, exactly: take *legitimate* signal pairs (i.e. an
+    attacker who forges the reflected luminance perfectly), shift the
+    received signal by the forgery processing delay, and measure how the
+    rejection rate grows with the delay.
+    """
+    config = config or DetectorConfig()
+    rng = np.random.default_rng(seed)
+    delays = np.asarray(list(delays_s), dtype=np.float64)
+    rejection = np.zeros_like(delays)
+
+    per_user_clips = {
+        user: dataset.select(user, GENUINE)[:max_clips_per_user]
+        for user in dataset.users
+    }
+
+    # Pre-fit `rounds` models per user on independent training samples.
+    models: dict[str, list[LocalOutlierFactor]] = {}
+    for user in dataset.users:
+        genuine = dataset.features_of(user, GENUINE)
+        size = min(train_size, genuine.shape[0] - 1)
+        user_models = []
+        for _ in range(rounds):
+            perm = rng.permutation(genuine.shape[0])
+            user_models.append(_fit_lof(genuine[perm[:size]], config))
+        models[user] = user_models
+
+    for d_index, delay in enumerate(delays):
+        shift = int(round(delay * config.sample_rate_hz))
+        rejected = 0
+        total = 0
+        for user, clips in per_user_clips.items():
+            for clip in clips:
+                r = clip.received_luminance
+                if shift > 0:
+                    r_delayed = np.concatenate([np.full(shift, r[0]), r[:-shift]])
+                else:
+                    r_delayed = r
+                features = extract_features(
+                    clip.transmitted_luminance, r_delayed, config
+                ).features
+                z = features.as_array()
+                for model in models[user]:
+                    rejected += int(model.score(z) > config.lof_threshold)
+                    total += 1
+        rejection[d_index] = rejected / total if total else float("nan")
+    return DelaySweepResult(delays_s=delays, rejection_rate=rejection)

@@ -1,0 +1,250 @@
+"""Session builders: one call = one simulated chat recording.
+
+These are the highest-level convenience functions of the library — they
+assemble a verifier, a prover (genuine or attacker), the network path and
+the session loop from a :class:`~repro.experiments.profiles.UserProfile`
+and an :class:`~repro.experiments.profiles.Environment`, run the clock,
+and hand back the :class:`~repro.chat.session.SessionRecord` the detector
+consumes.  All randomness is derived from the single ``seed`` argument,
+so every session is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attack.adaptive import AdaptiveLuminanceForger
+from ..attack.reenactment import ReenactmentAttacker
+from ..attack.replay import ReplayAttacker
+from ..attack.target import TargetRecording
+from ..chat.endpoints import GenuineProverEndpoint, ProverEndpoint, VerifierEndpoint
+from ..chat.session import SessionRecord, VideoChatSession
+from ..net.channel import NetworkChannel
+from ..net.jitterbuffer import JitterBuffer
+from ..net.link import MediaLink
+from ..screen.illumination import AmbientLight
+from ..vision.expression import ExpressionTrack
+from ..vision.face_model import make_face
+from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile
+
+__all__ = [
+    "build_verifier",
+    "build_genuine_prover",
+    "build_links",
+    "run_session",
+    "simulate_genuine_session",
+    "simulate_attack_session",
+    "simulate_adaptive_attack_session",
+    "simulate_replay_attack_session",
+    "default_user",
+]
+
+
+def _subseeds(seed: int, count: int) -> list[int]:
+    """Derive independent child seeds from one session seed."""
+    return [int(s.generate_state(1)[0]) for s in np.random.SeedSequence(seed).spawn(count)]
+
+
+def default_user(seed: int = 7) -> UserProfile:
+    """A single stand-alone volunteer (for quickstarts and tests)."""
+    return UserProfile(
+        name="default_user",
+        face=make_face("default_user", tone="light", rng=np.random.default_rng(seed)),
+        seed=seed,
+    )
+
+
+def build_verifier(env: Environment, seed: int) -> VerifierEndpoint:
+    """Alice: her own face, scene, ambient light and metering behaviour."""
+    s_face, s_expr, s_amb, s_rend = _subseeds(seed, 4)
+    face = make_face("verifier", tone="tan", rng=np.random.default_rng(s_face))
+    expression = ExpressionTrack(seed=s_expr, movement_amplitude=0.015)
+    ambient = AmbientLight(
+        base_lux=env.verifier_ambient_lux,
+        drift_lux=2.0,
+        rng=np.random.default_rng(s_amb),
+    )
+    height, width = env.verifier_frame_size
+    return VerifierEndpoint(
+        face=face,
+        expression=expression,
+        ambient=ambient,
+        frame_size=(height, width),
+        seed=s_rend,
+    )
+
+
+def build_genuine_prover(
+    user: UserProfile,
+    env: Environment,
+    seed: int,
+) -> GenuineProverEndpoint:
+    """Bob when genuine: real face, real screen reflection."""
+    s_expr, s_amb, s_rend, s_dist = _subseeds(seed, 4)
+    expression = ExpressionTrack(
+        seed=s_expr,
+        movement_amplitude=user.movement_amplitude,
+        blink_rate_hz=user.blink_rate_hz,
+        talking=user.talking,
+    )
+    # The user does not sit at exactly the same spot every session.
+    distance = env.viewing_distance_m * float(
+        np.random.default_rng(s_dist).uniform(0.9, 1.15)
+    )
+    drift_rng = np.random.default_rng(s_amb)
+    ambient = AmbientLight(
+        base_lux=env.prover_ambient_lux,
+        drift_lux=float(drift_rng.uniform(1.5, 4.0)),
+        drift_period_s=float(drift_rng.uniform(6.0, 18.0)),
+        event_rate_hz=env.prover_ambient_event_rate_hz,
+        event_lux_range=(6.0, 18.0),
+        rng=np.random.default_rng(s_amb + 1),
+    )
+    return GenuineProverEndpoint(
+        face=user.face,
+        expression=expression,
+        ambient=ambient,
+        screen=env.screen,
+        viewing_distance_m=distance,
+        frame_size=env.frame_size,
+        seed=s_rend,
+    )
+
+
+def _playout_delay(base_delay_s: float, jitter_s: float, env: Environment) -> float:
+    """Playout deadline for one link.
+
+    Real jitter buffers adapt their deadline to the measured path: a
+    deadline below the propagation delay would starve playout entirely
+    (every frame 'late').  Keep the configured deadline when it already
+    covers the path; otherwise stretch to delay + de-jitter margin.
+    """
+    return max(env.playout_delay_s, base_delay_s + 2.0 * jitter_s + 0.02)
+
+
+def build_links(env: Environment, seed: int) -> tuple[MediaLink, MediaLink]:
+    """The two directions of the network path."""
+    s_up, s_down = _subseeds(seed, 2)
+    uplink = MediaLink(
+        channel=NetworkChannel(
+            base_delay_s=env.uplink_delay_s,
+            jitter_s=env.jitter_s,
+            loss_rate=env.loss_rate,
+            seed=s_up,
+        ),
+        jitter_buffer=JitterBuffer(
+            playout_delay_s=_playout_delay(env.uplink_delay_s, env.jitter_s, env)
+        ),
+    )
+    downlink = MediaLink(
+        channel=NetworkChannel(
+            base_delay_s=env.downlink_delay_s,
+            jitter_s=env.jitter_s,
+            loss_rate=env.loss_rate,
+            seed=s_down,
+        ),
+        jitter_buffer=JitterBuffer(
+            playout_delay_s=_playout_delay(env.downlink_delay_s, env.jitter_s, env)
+        ),
+    )
+    return uplink, downlink
+
+
+def run_session(
+    prover: ProverEndpoint,
+    env: Environment,
+    seed: int,
+    duration_s: float,
+) -> SessionRecord:
+    """Wire a verifier against the given prover and run the clock."""
+    s_verifier, s_links = _subseeds(seed, 2)
+    verifier = build_verifier(env, s_verifier)
+    uplink, downlink = build_links(env, s_links)
+    session = VideoChatSession(
+        verifier=verifier,
+        prover=prover,
+        uplink=uplink,
+        downlink=downlink,
+        fps=env.fps,
+    )
+    return session.run(duration_s)
+
+
+def simulate_genuine_session(
+    duration_s: float = 15.0,
+    seed: int = 0,
+    env: Environment | None = None,
+    user: UserProfile | None = None,
+) -> SessionRecord:
+    """A chat where the untrusted user really is a live person."""
+    env = env or DEFAULT_ENVIRONMENT
+    user = user or default_user()
+    s_prover, s_session = _subseeds(seed, 2)
+    prover = build_genuine_prover(user, env, s_prover)
+    return run_session(prover, env, s_session, duration_s)
+
+
+def _target_for(user: UserProfile, seed: int) -> TargetRecording:
+    """Victim footage of the impersonated user."""
+    return TargetRecording(victim=user.face, seed=seed)
+
+
+def simulate_attack_session(
+    duration_s: float = 15.0,
+    seed: int = 0,
+    env: Environment | None = None,
+    victim: UserProfile | None = None,
+    artifact_level: float = 0.012,
+) -> SessionRecord:
+    """A chat where the untrusted side runs face reenactment."""
+    env = env or DEFAULT_ENVIRONMENT
+    victim = victim or default_user()
+    s_target, s_attacker, s_session = _subseeds(seed, 3)
+    attacker = ReenactmentAttacker(
+        target=_target_for(victim, s_target),
+        artifact_level=artifact_level,
+        frame_size=env.frame_size,
+        seed=s_attacker,
+    )
+    return run_session(attacker, env, s_session, duration_s)
+
+
+def simulate_adaptive_attack_session(
+    processing_delay_s: float,
+    duration_s: float = 15.0,
+    seed: int = 0,
+    env: Environment | None = None,
+    victim: UserProfile | None = None,
+) -> SessionRecord:
+    """The Sec. VIII-J strong attacker forging the reflection with delay."""
+    env = env or DEFAULT_ENVIRONMENT
+    victim = victim or default_user()
+    s_target, s_attacker, s_session = _subseeds(seed, 3)
+    attacker = AdaptiveLuminanceForger(
+        target=_target_for(victim, s_target),
+        processing_delay_s=processing_delay_s,
+        frame_size=env.frame_size,
+        seed=s_attacker,
+        mimic_screen=env.screen,
+        mimic_distance_m=env.viewing_distance_m,
+        ambient_lux=env.prover_ambient_lux,
+    )
+    return run_session(attacker, env, s_session, duration_s)
+
+
+def simulate_replay_attack_session(
+    duration_s: float = 15.0,
+    seed: int = 0,
+    env: Environment | None = None,
+    victim: UserProfile | None = None,
+) -> SessionRecord:
+    """A classic media replay of the victim's own footage."""
+    env = env or DEFAULT_ENVIRONMENT
+    victim = victim or default_user()
+    s_target, s_attacker, s_session = _subseeds(seed, 3)
+    attacker = ReplayAttacker(
+        target=_target_for(victim, s_target),
+        frame_size=env.frame_size,
+        seed=s_attacker,
+    )
+    return run_session(attacker, env, s_session, duration_s)

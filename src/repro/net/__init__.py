@@ -1,0 +1,17 @@
+"""Network substrate: packets, channels, jitter buffers, media links."""
+
+from .channel import ChannelStats, DeliveredPacket, NetworkChannel
+from .jitterbuffer import JitterBuffer, PlayoutStats
+from .link import MediaLink
+from .packet import Packet, Packetizer
+
+__all__ = [
+    "ChannelStats",
+    "DeliveredPacket",
+    "NetworkChannel",
+    "JitterBuffer",
+    "PlayoutStats",
+    "MediaLink",
+    "Packet",
+    "Packetizer",
+]

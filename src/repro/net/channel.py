@@ -1,0 +1,97 @@
+"""Lossy, delayed, jittery network channel.
+
+The channel is the reason the paper's feature extractor estimates and
+removes a delay before correlating trends (Sec. VI): Alice's video takes
+one trip to reach Bob's screen, and Bob's reflection takes another trip
+back, so the face signal trails the screen signal by roughly the
+round-trip time plus Bob's render/display latency.
+
+The model: constant propagation delay + exponentially-distributed jitter
++ i.i.d. packet loss.  Deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .packet import Packet
+
+__all__ = ["DeliveredPacket", "NetworkChannel", "ChannelStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveredPacket:
+    """A packet together with its arrival time at the far end."""
+
+    packet: Packet
+    arrival_time: float
+
+
+@dataclasses.dataclass
+class ChannelStats:
+    """Running transmission statistics."""
+
+    sent: int = 0
+    lost: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+
+class NetworkChannel:
+    """One direction of a network path.
+
+    Parameters
+    ----------
+    base_delay_s:
+        Constant one-way propagation + queuing delay.
+    jitter_s:
+        Mean of the exponential jitter added per packet.
+    loss_rate:
+        Independent per-packet loss probability.
+    seed:
+        Seed of the channel's generator.
+    """
+
+    def __init__(
+        self,
+        base_delay_s: float = 0.08,
+        jitter_s: float = 0.01,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if base_delay_s < 0 or jitter_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must lie in [0, 1)")
+        self.base_delay_s = base_delay_s
+        self.jitter_s = jitter_s
+        self.loss_rate = loss_rate
+        self._rng = np.random.default_rng(seed)
+        self.stats = ChannelStats()
+
+    def transmit(self, packet: Packet) -> DeliveredPacket | None:
+        """Send one packet; ``None`` when the packet is lost."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.lost += 1
+            return None
+        jitter = float(self._rng.exponential(self.jitter_s)) if self.jitter_s > 0 else 0.0
+        return DeliveredPacket(
+            packet=packet,
+            arrival_time=packet.send_time + self.base_delay_s + jitter,
+        )
+
+    def transmit_all(self, packets: list[Packet]) -> list[DeliveredPacket]:
+        """Send a packet train, dropping lost packets."""
+        delivered = []
+        for packet in packets:
+            result = self.transmit(packet)
+            if result is not None:
+                delivered.append(result)
+        return delivered

@@ -1,0 +1,70 @@
+"""Packetization of encoded video frames.
+
+Real-time video is carried in MTU-sized packets (RTP over UDP in
+practice).  Packetization matters to the reproduction because *frame* loss
+— the event that freezes the received luminance signal — is the union of
+its packets' losses, so bigger frames are more fragile, exactly as on a
+real link.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..video.codec import EncodedFrame
+
+__all__ = ["Packet", "Packetizer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Packet:
+    """One network packet carrying a chunk of an encoded frame."""
+
+    sequence: int
+    frame_id: int
+    chunk_index: int
+    chunk_count: int
+    size_bytes: int
+    send_time: float
+    frame: EncodedFrame
+
+    def __post_init__(self) -> None:
+        if self.chunk_count < 1:
+            raise ValueError("chunk_count must be >= 1")
+        if not 0 <= self.chunk_index < self.chunk_count:
+            raise ValueError("chunk_index out of range")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+
+class Packetizer:
+    """Split encoded frames into MTU-sized packets with a running
+    sequence number (per sender)."""
+
+    def __init__(self, mtu_bytes: int = 1200) -> None:
+        if mtu_bytes < 64:
+            raise ValueError("mtu_bytes must be >= 64")
+        self.mtu_bytes = mtu_bytes
+        self._sequence = 0
+
+    def packetize(self, encoded: EncodedFrame, send_time: float) -> list[Packet]:
+        """Produce the packet train for one encoded frame."""
+        chunk_count = max(1, -(-encoded.payload_bytes // self.mtu_bytes))
+        packets = []
+        remaining = encoded.payload_bytes
+        for chunk_index in range(chunk_count):
+            size = min(self.mtu_bytes, remaining)
+            remaining -= size
+            packets.append(
+                Packet(
+                    sequence=self._sequence,
+                    frame_id=encoded.frame_id,
+                    chunk_index=chunk_index,
+                    chunk_count=chunk_count,
+                    size_bytes=size,
+                    send_time=send_time,
+                    frame=encoded,
+                )
+            )
+            self._sequence += 1
+        return packets

@@ -1,0 +1,158 @@
+"""Display (screen) models.
+
+When Bob watches Alice's video, his screen converts the displayed frame
+into emitted light.  The amount of emitted light is what ultimately
+reflects off Bob's face — the carrier of the paper's liveness signal.
+
+The model covers the paper's observation (Sec. II-D) that *all* common
+panel technologies — LED, LCD, OLED — emit less light for darker content,
+differing mainly in black level (backlit LCD panels leak light on black
+frames; OLED pixels turn off) and peak luminance.
+
+Units: panel luminance is expressed in nits (cd/m^2); displayed pixel
+values are display-referred [0, 255] and are linearized through the
+panel's gamma before scaling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = [
+    "ScreenSpec",
+    "DELL_27_LED",
+    "MONITOR_21_LCD",
+    "LAPTOP_13_LCD",
+    "TABLET_10_LCD",
+    "PHONE_6_OLED",
+    "SCREEN_SIZE_LADDER",
+]
+
+_TECHNOLOGIES = {
+    # technology -> (default peak nits, default black level fraction)
+    "led": (350.0, 0.012),
+    "lcd": (280.0, 0.02),
+    "oled": (450.0, 0.0),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ScreenSpec:
+    """Geometry and photometry of one display panel.
+
+    Parameters
+    ----------
+    diagonal_in:
+        Panel diagonal in inches (the paper's Fig. 13 sweeps this).
+    technology:
+        One of ``"led"``, ``"lcd"``, ``"oled"``.
+    brightness:
+        User brightness setting in [0, 1] (paper testbed: 0.85).
+    aspect_w, aspect_h:
+        Aspect ratio (default 16:9).
+    peak_nits:
+        Peak white luminance at brightness 1.0.  ``None`` picks the
+        technology default.
+    black_level:
+        Fraction of peak luminance leaked when displaying black.
+        ``None`` picks the technology default (0 for OLED).
+    gamma:
+        Panel decoding gamma (pixel value -> linear light).
+    """
+
+    diagonal_in: float
+    technology: str = "led"
+    brightness: float = 0.85
+    aspect_w: int = 16
+    aspect_h: int = 9
+    peak_nits: float | None = None
+    black_level: float | None = None
+    gamma: float = 2.2
+
+    def __post_init__(self) -> None:
+        if self.diagonal_in <= 0:
+            raise ValueError("diagonal_in must be positive")
+        if self.technology not in _TECHNOLOGIES:
+            raise ValueError(
+                f"unknown technology {self.technology!r}; "
+                f"expected one of {sorted(_TECHNOLOGIES)}"
+            )
+        if not 0.0 <= self.brightness <= 1.0:
+            raise ValueError("brightness must lie in [0, 1]")
+        if self.aspect_w <= 0 or self.aspect_h <= 0:
+            raise ValueError("aspect ratio components must be positive")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if self.peak_nits is not None and self.peak_nits <= 0:
+            raise ValueError("peak_nits must be positive")
+        if self.black_level is not None and not 0 <= self.black_level < 1:
+            raise ValueError("black_level must lie in [0, 1)")
+
+    @property
+    def effective_peak_nits(self) -> float:
+        """Peak luminance at the current brightness setting."""
+        base = self.peak_nits
+        if base is None:
+            base = _TECHNOLOGIES[self.technology][0]
+        return base * self.brightness
+
+    @property
+    def effective_black_level(self) -> float:
+        """Black-frame luminance as a fraction of the effective peak."""
+        level = self.black_level
+        if level is None:
+            level = _TECHNOLOGIES[self.technology][1]
+        return level
+
+    @property
+    def width_m(self) -> float:
+        """Panel width in meters."""
+        diag_m = self.diagonal_in * 0.0254
+        ratio = math.hypot(self.aspect_w, self.aspect_h)
+        return diag_m * self.aspect_w / ratio
+
+    @property
+    def height_m(self) -> float:
+        """Panel height in meters."""
+        diag_m = self.diagonal_in * 0.0254
+        ratio = math.hypot(self.aspect_w, self.aspect_h)
+        return diag_m * self.aspect_h / ratio
+
+    @property
+    def area_m2(self) -> float:
+        """Emitting area in square meters."""
+        return self.width_m * self.height_m
+
+    def emitted_luminance(self, mean_pixel: float) -> float:
+        """Panel luminance (nits) when showing content of the given mean
+        pixel luminance.
+
+        ``mean_pixel`` is a display-referred value in [0, 255] (the mean
+        BT.709 luminance of the displayed frame).  It is linearized
+        through the panel gamma, floored at the black level, and scaled
+        by the brightness-adjusted peak.
+        """
+        level = min(max(float(mean_pixel) / 255.0, 0.0), 1.0)
+        linear = level**self.gamma
+        black = self.effective_black_level
+        return self.effective_peak_nits * (black + (1.0 - black) * linear)
+
+
+#: The paper's testbed monitor: Dell 27-inch LED at 85 % brightness.
+DELL_27_LED = ScreenSpec(diagonal_in=27.0, technology="led", brightness=0.85)
+
+#: Smaller desktop monitor (Fig. 13 screen-size ladder).
+MONITOR_21_LCD = ScreenSpec(diagonal_in=21.5, technology="lcd", brightness=0.85)
+
+#: Laptop panel (Fig. 13 screen-size ladder).
+LAPTOP_13_LCD = ScreenSpec(diagonal_in=13.3, technology="lcd", brightness=0.85)
+
+#: Tablet panel (Fig. 13 screen-size ladder).
+TABLET_10_LCD = ScreenSpec(diagonal_in=10.1, technology="lcd", brightness=0.85)
+
+#: 6-inch smartphone screen (Sec. VIII-E: works only at ~10 cm).
+PHONE_6_OLED = ScreenSpec(diagonal_in=6.0, technology="oled", brightness=0.85)
+
+#: Descending screen-size ladder used by the Fig. 13 reproduction.
+SCREEN_SIZE_LADDER = (DELL_27_LED, MONITOR_21_LCD, LAPTOP_13_LCD, TABLET_10_LCD)

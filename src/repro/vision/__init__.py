@@ -1,0 +1,24 @@
+"""Face rendering and landmark detection substrate."""
+
+from .expression import ExpressionTrack, PoseState
+from .face_model import SKIN_TONES, FaceModel, make_face
+from .geometry import Point, Rect, square_around
+from .landmarks import FaceLandmarks, LandmarkDetector, mean_landmark_error
+from .renderer import BackgroundModel, FaceRenderer, RenderResult
+
+__all__ = [
+    "ExpressionTrack",
+    "PoseState",
+    "SKIN_TONES",
+    "FaceModel",
+    "make_face",
+    "Point",
+    "Rect",
+    "square_around",
+    "FaceLandmarks",
+    "LandmarkDetector",
+    "mean_landmark_error",
+    "BackgroundModel",
+    "FaceRenderer",
+    "RenderResult",
+]

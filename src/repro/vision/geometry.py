@@ -1,0 +1,118 @@
+"""Small 2-D geometry helpers shared by the vision stack.
+
+Coordinates follow image convention: ``x`` grows rightwards (columns),
+``y`` grows downwards (rows).  All helpers are pure and numpy-friendly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["Point", "Rect", "clamp", "square_around"]
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty clamp interval [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    """An (x, y) location in image coordinates (pixels, float)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return the point shifted by (dx, dy)."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: float, origin: "Point | None" = None) -> "Point":
+        """Scale about ``origin`` (default: the image origin)."""
+        ox, oy = (origin.x, origin.y) if origin is not None else (0.0, 0.0)
+        return Point(ox + (self.x - ox) * factor, oy + (self.y - oy) * factor)
+
+    def as_array(self) -> np.ndarray:
+        """Return ``array([x, y])``."""
+        return np.array([self.x, self.y], dtype=np.float64)
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[x0, x1) x [y0, y1)``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the half-open rectangle."""
+        return self.x0 <= point.x < self.x1 and self.y0 <= point.y < self.y1
+
+    def intersect(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or ``None`` when disjoint."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def clipped_to(self, width: float, height: float) -> "Rect | None":
+        """Clip to an image of the given size; ``None`` if fully outside."""
+        return self.intersect(Rect(0.0, 0.0, float(width), float(height)))
+
+    def pixel_slices(self) -> tuple[slice, slice]:
+        """Integer (row, column) slices covering the rectangle.
+
+        The rectangle is rounded outward-inward to the nearest pixel grid:
+        start coordinates round down, end coordinates round up, so a
+        rectangle always covers at least the pixels it geometrically
+        overlaps.  Callers must clip to the image first.
+        """
+        row = slice(int(math.floor(self.y0)), max(int(math.ceil(self.y1)), int(math.floor(self.y0)) + 1))
+        col = slice(int(math.floor(self.x0)), max(int(math.ceil(self.x1)), int(math.floor(self.x0)) + 1))
+        return row, col
+
+
+def square_around(center: Point, side: float) -> Rect:
+    """Axis-aligned square of the given ``side`` centered on ``center``.
+
+    This is the ROI shape the paper extracts on the lower nasal bridge
+    (Sec. IV, Fig. 5): side ``l = |b1 - b2|`` centered on the bridge point.
+    """
+    if side < 0:
+        raise ValueError("square side must be non-negative")
+    half = side / 2.0
+    return Rect(center.x - half, center.y - half, center.x + half, center.y + half)

@@ -1,0 +1,49 @@
+"""Target recordings."""
+
+import numpy as np
+import pytest
+
+from repro.attack.target import TargetRecording
+from repro.vision.face_model import make_face
+
+
+class TestPlayback:
+    def test_loops_beyond_duration(self):
+        target = TargetRecording(victim=make_face("v"), duration_s=10.0, seed=1)
+        assert target.playback_time(12.5) == pytest.approx(2.5)
+
+    def test_offset_applied(self):
+        target = TargetRecording(victim=make_face("v"), duration_s=10.0, seed=1)
+        assert target.playback_time(1.0, offset_s=3.0) == pytest.approx(4.0)
+
+    def test_negative_time_rejected(self):
+        target = TargetRecording(victim=make_face("v"), seed=1)
+        with pytest.raises(ValueError):
+            target.playback_time(-1.0)
+
+
+class TestIllumination:
+    def test_track_independent_of_seeded_copy(self):
+        a = TargetRecording(victim=make_face("v"), seed=1)
+        b = TargetRecording(victim=make_face("v"), seed=2)
+        ta = [a.illuminance_at(t) for t in np.linspace(0, 60, 50)]
+        tb = [b.illuminance_at(t) for t in np.linspace(0, 60, 50)]
+        assert not np.allclose(ta, tb)
+
+    def test_deterministic_per_seed(self):
+        a = TargetRecording(victim=make_face("v"), seed=5)
+        b = TargetRecording(victim=make_face("v"), seed=5)
+        ts = np.linspace(0, 60, 50)
+        assert np.allclose(
+            [a.illuminance_at(t) for t in ts], [b.illuminance_at(t) for t in ts]
+        )
+
+    def test_has_its_own_luminance_events(self):
+        target = TargetRecording(victim=make_face("v"), duration_s=300.0, seed=3)
+        samples = np.array([target.illuminance_at(t) for t in np.linspace(0, 299, 600)])
+        # Event steps make the track non-constant beyond mere drift.
+        assert samples.max() - samples.min() > 10.0
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            TargetRecording(victim=make_face("v"), duration_s=0.0)

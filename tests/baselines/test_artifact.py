@@ -1,0 +1,57 @@
+"""Artifact-detection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.artifact import ArtifactDetector, artifact_features
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, genuine_record):
+        features = artifact_features(genuine_record.received)
+        assert features.shape == (3,)
+        assert np.isfinite(features).all()
+
+    def test_attack_has_more_flicker(self, genuine_record, attack_record):
+        genuine = artifact_features(genuine_record.received)
+        fake = artifact_features(attack_record.received)
+        # Synthesis flicker raises at least one artifact statistic.
+        assert (fake > genuine).any()
+
+    def test_too_short_stream_rejected(self, genuine_record):
+        from repro.video.stream import VideoStream
+
+        short = VideoStream(fps=10.0, frames=genuine_record.received.frames[:3])
+        with pytest.raises(ValueError):
+            artifact_features(short)
+
+
+class TestDetector:
+    @pytest.fixture()
+    def labelled(self):
+        rng = np.random.default_rng(0)
+        genuine = rng.normal([1.0, 0.5, 0.1], 0.1, size=(20, 3))
+        fake = rng.normal([2.0, 1.5, 0.4], 0.1, size=(20, 3))
+        return genuine, fake
+
+    def test_requires_attacker_data(self):
+        """The paper's criticism made explicit: no fake data, no model."""
+        detector = ArtifactDetector()
+        with pytest.raises(TypeError):
+            detector.fit(np.zeros((10, 3)))  # type: ignore[call-arg]
+
+    def test_classifies_separable_classes(self, labelled):
+        genuine, fake = labelled
+        detector = ArtifactDetector().fit(genuine, fake)
+        assert detector.is_live(np.array([1.0, 0.5, 0.1]))
+        assert not detector.is_live(np.array([2.0, 1.5, 0.4]))
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            ArtifactDetector().is_live(np.zeros(3))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            ArtifactDetector().fit(np.zeros((2, 3)), np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            ArtifactDetector().fit(np.zeros((1, 3)), np.zeros((5, 3)))

@@ -1,0 +1,53 @@
+"""Cross-correlation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.crosscorr import CrossCorrelationDetector, max_normalized_crosscorr
+
+
+class TestMaxCrossCorr:
+    def test_identical_signals_peak_at_zero_lag(self):
+        x = np.sin(np.linspace(0, 6, 100))
+        corr, lag = max_normalized_crosscorr(x, x, max_lag=10)
+        assert corr == pytest.approx(1.0)
+        assert lag == 0
+
+    def test_recovers_planted_lag(self):
+        x = np.sin(np.linspace(0, 12, 150))
+        y = np.roll(x, 5)
+        corr, lag = max_normalized_crosscorr(x, y, max_lag=10)
+        assert lag == 5
+        assert corr > 0.95
+
+    def test_only_nonnegative_lags(self):
+        x = np.sin(np.linspace(0, 12, 150))
+        y = np.roll(x, -5)  # received *leads*: physically impossible
+        corr, _ = max_normalized_crosscorr(x, y, max_lag=10)
+        assert corr < 1.0
+
+    def test_constant_signal_scores_low(self):
+        corr, _ = max_normalized_crosscorr(np.ones(50), np.arange(50.0), max_lag=5)
+        assert corr == -1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_normalized_crosscorr(np.zeros(10), np.zeros(11), 2)
+        with pytest.raises(ValueError):
+            max_normalized_crosscorr(np.zeros(10), np.zeros(10), 10)
+
+
+class TestDetector:
+    def test_accepts_correlated_pair(self, step_signal, reflected_signal):
+        detector = CrossCorrelationDetector()
+        assert detector.is_live(step_signal, reflected_signal)
+
+    def test_rejects_uncorrelated_pair(self, step_signal):
+        rng = np.random.default_rng(0)
+        fake = 140.0 + np.cumsum(rng.normal(0, 1.0, 150))
+        detector = CrossCorrelationDetector()
+        assert detector.score(step_signal, fake) < 0.9
+
+    def test_score_in_unit_range(self, step_signal, reflected_signal):
+        score = CrossCorrelationDetector().score(step_signal, reflected_signal)
+        assert -1.0 <= score <= 1.0

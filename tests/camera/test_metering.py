@@ -1,0 +1,70 @@
+"""Light metering modes."""
+
+import numpy as np
+import pytest
+
+from repro.camera.metering import LightMeter, MeteringMode
+
+
+def _scene(width=60, height=40):
+    """Left half dark (10), right half bright (200)."""
+    radiance = np.full((height, width, 3), 10.0)
+    radiance[:, width // 2 :, :] = 200.0
+    return radiance
+
+
+class TestSpotMetering:
+    def test_spot_on_dark_zone(self):
+        meter = LightMeter(mode=MeteringMode.SPOT, spot_x=0.2, spot_y=0.5)
+        assert meter.measure(_scene()) == pytest.approx(10.0)
+
+    def test_spot_on_bright_zone(self):
+        meter = LightMeter(mode=MeteringMode.SPOT, spot_x=0.8, spot_y=0.5)
+        assert meter.measure(_scene()) == pytest.approx(200.0)
+
+    def test_point_spot_switches_mode_and_position(self):
+        meter = LightMeter(mode=MeteringMode.MULTI_ZONE)
+        meter.point_spot(0.8, 0.5)
+        assert meter.mode is MeteringMode.SPOT
+        assert meter.measure(_scene()) == pytest.approx(200.0)
+
+    def test_spot_at_edge_stays_in_frame(self):
+        meter = LightMeter(mode=MeteringMode.SPOT, spot_x=1.0, spot_y=1.0)
+        assert np.isfinite(meter.measure(_scene()))
+
+    def test_point_spot_validates(self):
+        with pytest.raises(ValueError):
+            LightMeter().point_spot(1.5, 0.5)
+
+
+class TestMultiZone:
+    def test_uniform_scene(self):
+        meter = LightMeter(mode=MeteringMode.MULTI_ZONE)
+        assert meter.measure(np.full((30, 30, 3), 50.0)) == pytest.approx(50.0)
+
+    def test_center_weighting(self):
+        # Bright center, dark surround: center weight pulls the measure up.
+        radiance = np.full((30, 30, 3), 10.0)
+        radiance[10:20, 10:20, :] = 100.0
+        weighted = LightMeter(mode=MeteringMode.MULTI_ZONE, center_weight=4.0).measure(radiance)
+        flat = LightMeter(mode=MeteringMode.MULTI_ZONE, center_weight=1.0).measure(radiance)
+        assert weighted > flat
+
+    def test_between_extremes(self):
+        meter = LightMeter(mode=MeteringMode.MULTI_ZONE)
+        value = meter.measure(_scene())
+        assert 10.0 < value < 200.0
+
+
+class TestValidation:
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            LightMeter().measure(np.zeros((10, 10)))
+
+    def test_rejects_bad_spot(self):
+        with pytest.raises(ValueError):
+            LightMeter(spot_x=2.0)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            LightMeter(grid=(0, 3))

@@ -1,0 +1,79 @@
+"""Active challenge injection: ScheduledMeteringBehavior end to end."""
+
+import numpy as np
+import pytest
+
+from repro.camera.camera import Camera
+from repro.camera.exposure import AutoExposureController
+from repro.camera.metering import LightMeter, MeteringMode
+from repro.camera.sensor import ImageSensor
+from repro.chat.endpoints import ScheduledMeteringBehavior, VerifierEndpoint
+from repro.core.challenge import ChallengeScheduler, challenge_quality
+from repro.core.config import DetectorConfig
+from repro.screen.illumination import AmbientLight
+from repro.video.luminance import frame_mean_luminance
+from repro.vision.expression import ExpressionTrack
+from repro.vision.face_model import make_face
+
+
+def _active_verifier(seed=0, min_challenges=2):
+    scheduler = ChallengeScheduler(min_challenges=min_challenges, min_gap_s=4.5)
+    face = make_face("alice", tone="tan", rng=np.random.default_rng(seed))
+    verifier = VerifierEndpoint(
+        face=face,
+        expression=ExpressionTrack(seed=seed, movement_amplitude=0.01),
+        ambient=AmbientLight(base_lux=90.0),
+        frame_size=(48, 48),
+        seed=seed,
+        camera=Camera(
+            sensor=ImageSensor(rng=np.random.default_rng(seed + 1)),
+            meter=LightMeter(mode=MeteringMode.SPOT),
+            auto_exposure=AutoExposureController(target_level=0.5),
+        ),
+    )
+    background = verifier.renderer.background
+    verifier.metering = ScheduledMeteringBehavior(
+        bright_spot=background.bright_spot,
+        dark_spot=background.dark_spot,
+        scheduler=scheduler,
+    )
+    return verifier
+
+
+class TestActiveChallenges:
+    def test_every_clip_carries_enough_challenges(self):
+        """The scheduler's whole point: no more unchallenged clips."""
+        config = DetectorConfig()
+        verifier = _active_verifier(seed=3, min_challenges=2)
+        signal = np.array(
+            [
+                frame_mean_luminance(verifier.produce_frame(t))
+                for t in np.arange(0.0, 15.0, 0.1)
+            ]
+        )
+        quality = challenge_quality(signal, config, min_challenges=2)
+        assert quality.sufficient, f"only {quality.challenge_count} challenges"
+
+    def test_challenges_respect_spacing(self):
+        verifier = _active_verifier(seed=4, min_challenges=2)
+        for t in np.arange(0.0, 15.0, 0.1):
+            verifier.produce_frame(float(t))
+        times = [t for t, _ in verifier.metering.events]
+        assert len(times) >= 2
+        assert np.diff(times).min() >= 4.5 - 1e-9
+
+    def test_consecutive_windows_each_served(self):
+        verifier = _active_verifier(seed=5, min_challenges=1)
+        for t in np.arange(0.0, 30.0, 0.1):
+            verifier.produce_frame(float(t))
+        times = np.array([t for t, _ in verifier.metering.events])
+        assert (times < 15.0).sum() >= 1
+        assert (times >= 15.0).sum() >= 1
+
+    def test_spot_actually_alternates(self):
+        verifier = _active_verifier(seed=6)
+        for t in np.arange(0.0, 15.0, 0.1):
+            verifier.produce_frame(float(t))
+        targets = [spot for _, spot in verifier.metering.events]
+        assert len(targets) >= 2
+        assert targets[0] != targets[1]

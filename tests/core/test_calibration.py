@@ -1,0 +1,77 @@
+"""Threshold calibration from the legitimate bank alone."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    calibrate_threshold,
+    leave_one_out_scores,
+)
+
+
+def _bank(n=30, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    center = np.array([1.0, 1.0, 0.95, 0.08])
+    return center + spread * rng.normal(size=(n, 4))
+
+
+class TestLeaveOneOut:
+    def test_one_score_per_vector(self):
+        bank = _bank()
+        scores = leave_one_out_scores(bank)
+        assert scores.shape == (30,)
+
+    def test_tight_cluster_scores_near_one(self):
+        scores = leave_one_out_scores(_bank(spread=0.01))
+        assert np.median(scores) < 1.5
+
+    def test_planted_outlier_scores_highest(self):
+        bank = _bank()
+        bank[7] = np.array([0.2, 0.1, -0.5, 1.5])
+        scores = leave_one_out_scores(bank)
+        assert np.argmax(scores) == 7
+        assert scores[7] > 5.0
+
+    def test_needs_three_vectors(self):
+        with pytest.raises(ValueError):
+            leave_one_out_scores(_bank(n=2))
+
+
+class TestCalibration:
+    def test_threshold_meets_target_frr(self):
+        bank = _bank(n=40)
+        result = calibrate_threshold(bank, target_frr=0.1)
+        assert result.estimated_frr <= 0.1 + 1e-9
+
+    def test_tighter_target_raises_threshold(self):
+        bank = _bank(n=40, spread=0.1)
+        loose = calibrate_threshold(bank, target_frr=0.2)
+        tight = calibrate_threshold(bank, target_frr=0.02)
+        assert tight.threshold >= loose.threshold
+
+    def test_floor_applied(self):
+        # A hyper-tight bank wants a sub-1.5 threshold; the floor holds.
+        result = calibrate_threshold(_bank(spread=0.001), target_frr=0.5)
+        assert result.threshold >= 1.5
+
+    def test_scores_carried_in_result(self):
+        result = calibrate_threshold(_bank())
+        assert result.loo_scores.shape == (30,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(_bank(), target_frr=0.0)
+        with pytest.raises(ValueError):
+            calibrate_threshold(_bank(), min_threshold=0.5)
+
+    def test_calibrated_threshold_works_against_attacks(self):
+        """The calibrated tau must still separate attack-like vectors."""
+        bank = _bank(n=40)
+        result = calibrate_threshold(bank, target_frr=0.08)
+        from repro.core.lof import LocalOutlierFactor
+
+        model = LocalOutlierFactor(5).fit(bank)
+        attacks = np.array(
+            [[0.3, 0.5, -0.4, 0.9], [0.0, 0.0, -0.8, 1.2], [0.5, 1.0, 0.1, 0.6]]
+        )
+        assert (model.score_samples(attacks) > result.threshold).all()

@@ -1,0 +1,92 @@
+"""Challenge quality grading and active scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.challenge import ChallengeScheduler, challenge_quality
+from repro.core.config import DetectorConfig
+
+
+def _clip_with_steps(*step_samples, n=150, level=180.0, magnitude=50.0):
+    x = np.full(n, level)
+    sign = -1.0
+    for s in step_samples:
+        x[s:] += sign * magnitude
+        sign = -sign
+    return x
+
+
+class TestChallengeQuality:
+    def test_counts_interior_challenges(self, config):
+        quality = challenge_quality(_clip_with_steps(40, 110), config)
+        assert quality.challenge_count == 2
+        assert quality.sufficient
+
+    def test_flat_clip_is_insufficient(self, config):
+        quality = challenge_quality(np.full(150, 120.0), config)
+        assert quality.challenge_count == 0
+        assert not quality.sufficient
+        assert quality.mean_prominence == 0.0
+
+    def test_guarded_challenge_not_counted(self, config):
+        # A single step inside the end guard window.
+        quality = challenge_quality(_clip_with_steps(146), config)
+        assert quality.challenge_count == 0
+
+    def test_spacing_reported(self, config):
+        quality = challenge_quality(_clip_with_steps(30, 100), config)
+        assert 5.0 < quality.min_spacing_s < 9.0
+
+    def test_min_challenges_knob(self, config):
+        quality = challenge_quality(_clip_with_steps(60), config, min_challenges=2)
+        assert quality.challenge_count == 1
+        assert not quality.sufficient
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            challenge_quality(np.zeros(150), config, min_challenges=0)
+
+
+class TestScheduler:
+    def test_guarantees_min_challenges_per_window(self):
+        config = DetectorConfig()
+        scheduler = ChallengeScheduler(config, min_challenges=2, min_gap_s=4.5)
+        issued = []
+        for tick in range(150):
+            t = tick * 0.1
+            if scheduler.tick(t):
+                issued.append(t)
+        assert len(issued) >= 2
+        # Spacing respected; all inside the usable window.
+        assert np.diff(issued).min() >= 4.5 - 1e-9
+        assert max(issued) <= config.clip_duration_s - config.boundary_guard_s + 0.1
+
+    def test_user_touches_reduce_scheduled_ones(self):
+        scheduler = ChallengeScheduler(min_challenges=2, min_gap_s=4.5)
+        scheduled = 0
+        for tick in range(150):
+            t = tick * 0.1
+            if t == 1.0 or t == 6.0:  # the user touched twice already
+                scheduler.note_challenge(t)
+            if scheduler.tick(t):
+                scheduled += 1
+        assert scheduled == 0
+
+    def test_second_window_rearms(self):
+        scheduler = ChallengeScheduler(min_challenges=1, min_gap_s=4.5)
+        first_window = sum(scheduler.tick(tick * 0.1) for tick in range(150))
+        second_window = sum(scheduler.tick(15.0 + tick * 0.1) for tick in range(150))
+        assert first_window >= 1
+        assert second_window >= 1
+
+    def test_impossible_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ChallengeScheduler(min_challenges=5, min_gap_s=4.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChallengeScheduler(min_challenges=0)
+        with pytest.raises(ValueError):
+            ChallengeScheduler(min_gap_s=0.0)
+        with pytest.raises(ValueError):
+            ChallengeScheduler().should_challenge(-1.0)

@@ -1,0 +1,79 @@
+"""Clip diagnostics: conclusive vs inconclusive evidence."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import ClipIssue, diagnose_clip, reflection_snr
+
+
+def _challenged_clip(n=150):
+    t = np.full(n, 180.0)
+    t[40:] -= 50.0
+    t[110:] += 50.0
+    rng = np.random.default_rng(0)
+    r = 130.0 + 0.3 * np.concatenate([np.full(4, t[0]), t[:-4]])
+    return t, r + rng.normal(0, 0.4, n)
+
+
+class TestReflectionSnr:
+    def test_strong_reflection_high_snr(self):
+        _, r = _challenged_clip()
+        assert reflection_snr(r) > 10.0
+
+    def test_pure_noise_low_snr(self):
+        rng = np.random.default_rng(1)
+        noise = 100.0 + rng.normal(0, 2.0, 150)
+        assert reflection_snr(noise) < reflection_snr(_challenged_clip()[1])
+
+    def test_noiseless_input_capped(self):
+        assert reflection_snr(np.linspace(0, 10, 150)) <= 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reflection_snr(np.zeros(4))
+
+
+class TestDiagnoseClip:
+    def test_good_clip_is_conclusive(self):
+        t, r = _challenged_clip()
+        diag = diagnose_clip(t, r, face_valid=np.ones(150, dtype=bool))
+        assert diag.conclusive
+        assert diag.issues == ()
+        assert diag.challenge_count == 2
+
+    def test_unchallenged_clip_flagged(self):
+        r = _challenged_clip()[1]
+        diag = diagnose_clip(np.full(150, 150.0), r)
+        assert not diag.conclusive
+        assert ClipIssue.NO_CHALLENGES in diag.issues
+
+    def test_min_challenges_enforced(self):
+        t = np.full(150, 180.0)
+        t[60:] -= 50.0  # only one challenge
+        diag = diagnose_clip(t, _challenged_clip()[1], min_challenges=2)
+        assert ClipIssue.TOO_FEW_CHALLENGES in diag.issues
+
+    def test_no_face_flagged(self):
+        t, r = _challenged_clip()
+        diag = diagnose_clip(t, r, face_valid=np.zeros(150, dtype=bool))
+        assert ClipIssue.NO_FACE in diag.issues
+        assert diag.face_coverage == 0.0
+
+    def test_partial_face_coverage_flagged(self):
+        t, r = _challenged_clip()
+        valid = np.ones(150, dtype=bool)
+        valid[: 100] = False
+        diag = diagnose_clip(t, r, face_valid=valid, min_face_coverage=0.5)
+        assert ClipIssue.POOR_FACE_COVERAGE in diag.issues
+
+    def test_weak_reflection_flagged(self):
+        t, _ = _challenged_clip()
+        rng = np.random.default_rng(2)
+        flat_noisy = 130.0 + rng.normal(0, 3.0, 150)  # no reflected challenge
+        diag = diagnose_clip(t, flat_noisy, min_snr_db=5.0)
+        assert ClipIssue.WEAK_REFLECTION in diag.issues
+
+    def test_face_mask_optional(self):
+        t, r = _challenged_clip()
+        diag = diagnose_clip(t, r)
+        assert diag.face_coverage == 1.0

@@ -1,0 +1,152 @@
+"""Feature extraction: z1..z4 semantics on controlled signals."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.features import (
+    FeatureVector,
+    extract_features,
+    normalize_unit,
+    pearson_correlation,
+    split_segments,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 2) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.zeros(3), np.zeros(4))
+
+
+class TestNormalizeUnit:
+    def test_range_is_unit(self):
+        x = np.array([5.0, 10.0, 7.5])
+        out = normalize_unit(x)
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_flat_signal_maps_to_zero(self):
+        assert np.allclose(normalize_unit(np.full(5, 3.0)), 0.0)
+
+    def test_preserves_shape_monotonicity(self):
+        x = np.array([1.0, 3.0, 2.0])
+        out = normalize_unit(x)
+        assert out[1] > out[2] > out[0]
+
+
+class TestSplitSegments:
+    def test_two_halves(self):
+        segs = split_segments(np.arange(10.0), 2)
+        assert len(segs) == 2
+        assert np.allclose(segs[0], np.arange(5.0))
+        assert np.allclose(segs[1], np.arange(5.0, 10.0))
+
+    def test_tail_dropped(self):
+        segs = split_segments(np.arange(11.0), 2)
+        assert all(s.size == 5 for s in segs)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            split_segments(np.arange(1.0), 2)
+
+
+class TestFeatureVector:
+    def test_array_round_trip(self):
+        fv = FeatureVector(z1=0.5, z2=1.0, z3=0.9, z4=0.1)
+        assert FeatureVector.from_array(fv.as_array()) == fv
+
+    def test_from_array_validates_shape(self):
+        with pytest.raises(ValueError):
+            FeatureVector.from_array(np.zeros(3))
+
+
+class TestExtractFeaturesCorrelated:
+    """A genuine-looking pair: delayed, scaled reflection of the challenge."""
+
+    def test_behavior_features_are_perfect(self, step_signal, reflected_signal, config):
+        fx = extract_features(step_signal, reflected_signal, config)
+        assert fx.features.z1 == 1.0
+        assert fx.features.z2 == 1.0
+
+    def test_delay_estimated_near_truth(self, step_signal, reflected_signal, config):
+        fx = extract_features(step_signal, reflected_signal, config)
+        assert abs(fx.delay_s - 0.4) < 0.3
+
+    def test_trend_features_indicate_live(self, step_signal, reflected_signal, config):
+        fx = extract_features(step_signal, reflected_signal, config)
+        assert fx.features.z3 > 0.9
+        assert fx.features.z4 < 0.3
+
+
+class TestExtractFeaturesUncorrelated:
+    """An attack-looking pair: independent luminance tracks."""
+
+    @pytest.fixture()
+    def attack_pair(self, step_signal):
+        # Fake video with changes at completely different times.
+        r = np.full(150, 140.0)
+        r[20:] += 20.0
+        r[75:] -= 30.0
+        return step_signal, r
+
+    def test_changes_mostly_unmatched(self, attack_pair, config):
+        fx = extract_features(*attack_pair, config)
+        assert fx.features.z1 < 0.6
+        assert fx.features.z2 < 0.6
+
+    def test_trend_decorrelated(self, attack_pair, config):
+        fx = extract_features(*attack_pair, config)
+        assert fx.features.z3 < 0.6
+
+
+class TestDegenerateInputs:
+    def test_flat_received_signal(self, step_signal, config):
+        fx = extract_features(step_signal, np.full(150, 120.0), config)
+        assert fx.features.z1 == 0.0
+        assert fx.features.z2 == 0.0  # M == 0
+
+    def test_flat_both(self, config):
+        fx = extract_features(np.full(150, 100.0), np.full(150, 120.0), config)
+        assert fx.features.z1 == 0.0
+        assert fx.features.z2 == 0.0
+        # Flat trends: no correlation evidence.
+        assert fx.features.z3 <= 0.0 or fx.features.z3 == 0.0
+
+    def test_short_signals_do_not_crash(self, config):
+        fx = extract_features(np.full(20, 100.0), np.full(20, 120.0), config)
+        assert isinstance(fx.features, FeatureVector)
+
+
+class TestBoundaryGuard:
+    def test_change_near_clip_end_not_counted(self, config):
+        # One challenge well inside, one inside the end guard window.
+        t = np.full(150, 180.0)
+        t[50:] -= 50.0
+        t[144:] += 50.0  # at 14.4 s, inside the 2 s guard
+        r = 120.0 + 0.3 * np.concatenate([np.full(4, t[0]), t[:-4]])
+        # Remove the guarded change's reflection (truncated anyway).
+        fx = extract_features(t, r, config)
+        assert fx.features.z1 == 1.0  # the truncated change is excused
+
+    def test_guard_disabled_counts_everything(self, step_signal, reflected_signal):
+        cfg = DetectorConfig(boundary_guard_s=0.0)
+        fx = extract_features(step_signal, reflected_signal, cfg)
+        assert fx.features.z1 == 1.0  # both changes are interior here

@@ -1,0 +1,116 @@
+"""Local Outlier Factor: density semantics, Fig. 9 behaviour, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.lof import LocalOutlierFactor
+
+
+@pytest.fixture()
+def cluster():
+    """A tight 2-D cluster of 20 points around (1, 1)."""
+    rng = np.random.default_rng(42)
+    return np.array([1.0, 1.0]) + 0.05 * rng.normal(size=(20, 2))
+
+
+class TestInlierOutlier:
+    def test_cluster_member_scores_near_one(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        score = model.score(np.array([1.0, 1.0]))
+        assert 0.5 < score < 1.5
+
+    def test_distant_point_scores_high(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        assert model.score(np.array([3.0, -1.0])) > 5.0
+
+    def test_score_grows_with_distance(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        scores = [model.score(np.array([1.0 + d, 1.0])) for d in (0.2, 0.5, 1.0, 2.0)]
+        assert scores == sorted(scores)
+
+    def test_fig9_style_separation(self):
+        # The paper's Fig. 9: legitimate points LOF < 1.5, attacker ~2+.
+        rng = np.random.default_rng(7)
+        legit = np.column_stack([
+            rng.uniform(0.9, 1.0, 30),
+            rng.uniform(0.85, 1.0, 30),
+        ])
+        model = LocalOutlierFactor(5).fit(legit)
+        legit_scores = model.score_samples(legit + 0.01 * rng.normal(size=legit.shape))
+        attacker = np.array([0.45, 0.5])
+        assert np.median(legit_scores) < 1.5
+        assert model.score(attacker) > 2.0
+
+
+class TestNoveltySemantics:
+    def test_scoring_does_not_mutate_model(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        before = model.score(np.array([2.0, 2.0]))
+        for _ in range(5):
+            model.score(np.array([2.0, 2.0]))
+        assert model.score(np.array([2.0, 2.0])) == before
+
+    def test_batch_equals_individual(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        queries = np.array([[1.0, 1.0], [2.0, 0.0], [0.0, 2.0]])
+        batch = model.score_samples(queries)
+        singles = [model.score(q) for q in queries]
+        assert np.allclose(batch, singles)
+
+    def test_order_of_training_points_irrelevant(self, cluster):
+        rng = np.random.default_rng(0)
+        shuffled = cluster[rng.permutation(cluster.shape[0])]
+        a = LocalOutlierFactor(5).fit(cluster).score(np.array([1.5, 1.5]))
+        b = LocalOutlierFactor(5).fit(shuffled).score(np.array([1.5, 1.5]))
+        assert a == pytest.approx(b)
+
+
+class TestSmallAndDegenerateBanks:
+    def test_k_capped_at_n_minus_one(self):
+        train = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        model = LocalOutlierFactor(5).fit(train)  # k becomes 2
+        assert np.isfinite(model.score(np.array([0.5, 0.5])))
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(5).fit(np.array([[1.0, 2.0]]))
+
+    def test_duplicate_training_points_query_on_top(self):
+        train = np.tile([1.0, 1.0], (10, 1))
+        model = LocalOutlierFactor(3).fit(train)
+        # Query exactly on the degenerate cluster: inlier by convention.
+        assert model.score(np.array([1.0, 1.0])) == 1.0
+
+    def test_duplicate_training_points_query_away(self):
+        train = np.tile([1.0, 1.0], (10, 1))
+        model = LocalOutlierFactor(3).fit(train)
+        assert model.score(np.array([5.0, 5.0])) == np.inf
+
+
+class TestValidation:
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LocalOutlierFactor(5).score(np.zeros(2))
+
+    def test_dimension_mismatch_raises(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        with pytest.raises(ValueError):
+            model.score(np.zeros(3))
+
+    def test_nonfinite_training_rejected(self):
+        bad = np.array([[0.0, np.nan], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(5).fit(bad)
+
+    def test_nonfinite_query_rejected(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        with pytest.raises(ValueError):
+            model.score(np.array([np.inf, 0.0]))
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(0)
+
+    def test_train_size_reported(self, cluster):
+        model = LocalOutlierFactor(5).fit(cluster)
+        assert model.train_size == 20

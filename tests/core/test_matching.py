@@ -1,0 +1,77 @@
+"""Change matching: the F(T,R)/G(T,R) pairing underlying z1 and z2."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import match_changes
+
+
+class TestBasicMatching:
+    def test_perfect_alignment(self):
+        t = np.array([2.0, 6.0, 10.0])
+        r = np.array([2.4, 6.4, 10.4])
+        matches = match_changes(t, r, tolerance_s=1.0)
+        assert len(matches) == 3
+        assert [(m.transmitted_index, m.received_index) for m in matches] == [
+            (0, 0), (1, 1), (2, 2)
+        ]
+        assert all(m.time_difference_s == pytest.approx(0.4) for m in matches)
+
+    def test_out_of_tolerance_not_matched(self):
+        matches = match_changes(np.array([2.0]), np.array([3.5]), tolerance_s=1.0)
+        assert matches == []
+
+    def test_tolerance_is_inclusive(self):
+        matches = match_changes(np.array([2.0]), np.array([3.0]), tolerance_s=1.0)
+        assert len(matches) == 1
+
+    def test_empty_inputs(self):
+        assert match_changes(np.array([]), np.array([1.0]), 1.0) == []
+        assert match_changes(np.array([1.0]), np.array([]), 1.0) == []
+
+
+class TestOneToOne:
+    def test_each_change_used_once(self):
+        # Two received changes near one transmitted change.
+        t = np.array([5.0])
+        r = np.array([4.8, 5.3])
+        matches = match_changes(t, r, tolerance_s=1.0)
+        assert len(matches) == 1
+        assert matches[0].received_index == 0  # the closer one wins
+
+    def test_greedy_prefers_globally_closest(self):
+        t = np.array([5.0, 6.0])
+        r = np.array([5.9])
+        matches = match_changes(t, r, tolerance_s=1.5)
+        assert len(matches) == 1
+        assert matches[0].transmitted_index == 1
+
+    def test_crossing_assignments_resolved(self):
+        t = np.array([1.0, 2.0])
+        r = np.array([2.1, 1.2])
+        matches = match_changes(t, r, tolerance_s=1.0)
+        pairs = {(m.transmitted_index, m.received_index) for m in matches}
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_match_count_bounded_by_smaller_side(self):
+        t = np.linspace(0, 10, 5)
+        r = np.linspace(0, 10, 11)
+        matches = match_changes(t, r, tolerance_s=2.0)
+        assert len(matches) == 5
+
+
+class TestOrderingAndValidation:
+    def test_matches_sorted_by_transmitted_time(self):
+        t = np.array([8.0, 2.0, 5.0])
+        r = np.array([2.1, 5.1, 8.1])
+        matches = match_changes(t, r, tolerance_s=1.0)
+        times = [t[m.transmitted_index] for m in matches]
+        assert times == sorted(times)
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ValueError):
+            match_changes(np.array([1.0]), np.array([1.0]), 0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            match_changes(np.zeros((2, 2)), np.array([1.0]), 1.0)

@@ -1,0 +1,88 @@
+"""Peak finding: local maxima, plateaus, prominence gating."""
+
+import numpy as np
+import pytest
+
+from repro.core.peaks import Peak, find_peaks
+
+
+class TestBasicDetection:
+    def test_single_triangle_peak(self):
+        x = np.array([0, 1, 2, 3, 2, 1, 0], dtype=float)
+        peaks = find_peaks(x, 0.5)
+        assert len(peaks) == 1
+        assert peaks[0].index == 3
+        assert peaks[0].height == 3.0
+        assert peaks[0].prominence == 3.0
+
+    def test_two_peaks_with_saddle(self):
+        x = np.array([0, 5, 1, 4, 0], dtype=float)
+        peaks = find_peaks(x, 0.5)
+        assert [p.index for p in peaks] == [1, 3]
+        # Left peak rises from the global floor; right peak only from the saddle.
+        assert peaks[0].prominence == 5.0
+        assert peaks[1].prominence == 3.0
+
+    def test_endpoints_never_peaks(self):
+        x = np.array([5, 1, 0, 1, 6], dtype=float)
+        assert find_peaks(x, 0.5) == []
+
+    def test_monotonic_signal_has_no_peaks(self):
+        assert find_peaks(np.arange(10.0), 0.1) == []
+
+    def test_flat_signal_has_no_peaks(self):
+        assert find_peaks(np.zeros(20), 0.1) == []
+
+
+class TestPlateaus:
+    def test_plateau_reported_once_at_midpoint(self):
+        x = np.array([0, 1, 3, 3, 3, 1, 0], dtype=float)
+        peaks = find_peaks(x, 0.5)
+        assert len(peaks) == 1
+        assert peaks[0].index == 3
+
+    def test_plateau_touching_edge_is_not_a_peak(self):
+        x = np.array([3, 3, 3, 1, 0], dtype=float)
+        assert find_peaks(x, 0.5) == []
+
+    def test_zero_valley_between_lumps_is_not_a_peak(self):
+        # The clamped smoothed-variance shape: lump, zero plateau, lump.
+        x = np.array([0, 4, 8, 4, 0, 0, 0, 0, 3, 6, 3, 0], dtype=float)
+        peaks = find_peaks(x, 0.5)
+        assert [p.index for p in peaks] == [2, 9]
+
+
+class TestProminenceGate:
+    def test_small_peak_filtered(self):
+        x = np.array([0, 10, 0, 0.3, 0, 10, 0], dtype=float)
+        peaks = find_peaks(x, 0.5)
+        assert [p.index for p in peaks] == [1, 5]
+
+    def test_gate_is_inclusive(self):
+        x = np.array([0, 0.5, 0], dtype=float)
+        assert len(find_peaks(x, 0.5)) == 1
+
+    def test_prominence_measured_from_higher_saddle(self):
+        # Peak of height 6 between floors 2 (left) and 4 (right).
+        x = np.array([10, 2, 6, 4, 12], dtype=float)
+        peaks = find_peaks(x, 0.1)
+        assert len(peaks) == 1
+        assert peaks[0].prominence == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            find_peaks(np.zeros((3, 3)), 1.0)
+
+    def test_rejects_nonpositive_prominence(self):
+        with pytest.raises(ValueError):
+            find_peaks(np.zeros(5), 0.0)
+
+    def test_short_signal_returns_empty(self):
+        assert find_peaks(np.array([1.0, 2.0]), 0.5) == []
+
+    def test_peak_is_frozen_dataclass(self):
+        peak = Peak(index=1, height=2.0, prominence=1.0)
+        with pytest.raises(Exception):
+            peak.height = 5.0  # type: ignore[misc]

@@ -1,0 +1,82 @@
+"""Diagnostics-aware session verification."""
+
+import numpy as np
+import pytest
+
+from repro.chat.session import SessionRecord
+from repro.core.pipeline import ChatVerifier
+from repro.experiments.profiles import Environment
+from repro.experiments.simulate import simulate_attack_session, simulate_genuine_session
+from repro.video.frame import Frame
+from repro.video.stream import VideoStream
+
+
+@pytest.fixture(scope="module")
+def env():
+    return Environment(frame_size=(72, 72), verifier_frame_size=(48, 48))
+
+
+@pytest.fixture(scope="module")
+def verifier(env):
+    chat_verifier = ChatVerifier()
+    chat_verifier.enroll(
+        [
+            simulate_genuine_session(duration_s=15.0, seed=600 + s, env=env)
+            for s in range(10)
+        ]
+    )
+    return chat_verifier
+
+
+def _unchallenged_record(base_record) -> SessionRecord:
+    """Replace the transmitted video with flat frames (no challenges)."""
+    flat = VideoStream(fps=base_record.fps)
+    for frame in base_record.transmitted:
+        pixels = np.full_like(frame.pixels, 150.0)
+        flat.append(Frame(pixels=pixels, timestamp=frame.timestamp))
+    return SessionRecord(
+        transmitted=flat,
+        received=base_record.received,
+        fps=base_record.fps,
+        stats=dict(base_record.stats),
+    )
+
+
+class TestDiagnosedVerdict:
+    def test_genuine_session_conclusive_and_live(self, verifier, env):
+        record = simulate_genuine_session(duration_s=15.0, seed=700, env=env)
+        verdict = verifier.verify_session_diagnosed(record)
+        assert verdict.is_conclusive
+        assert not verdict.is_attacker
+        assert verdict.inconclusive_clips == 0
+
+    def test_attack_session_conclusive_and_flagged(self, verifier, env):
+        record = simulate_attack_session(duration_s=15.0, seed=701, env=env)
+        verdict = verifier.verify_session_diagnosed(record)
+        assert verdict.is_conclusive
+        assert verdict.is_attacker
+
+    def test_unchallenged_session_is_inconclusive(self, verifier, env):
+        base = simulate_genuine_session(duration_s=15.0, seed=702, env=env)
+        record = _unchallenged_record(base)
+        verdict = verifier.verify_session_diagnosed(record)
+        assert not verdict.is_conclusive
+        assert verdict.verdict is None
+        assert verdict.inconclusive_clips == 1
+        # Crucially: an inconclusive session is NOT an attacker verdict.
+        assert not verdict.is_attacker
+
+    def test_plain_verify_would_have_guessed(self, verifier, env):
+        """Contrast: the paper's always-answer pipeline brands the
+        unchallenged legitimate user an attacker."""
+        base = simulate_genuine_session(duration_s=15.0, seed=703, env=env)
+        record = _unchallenged_record(base)
+        plain = verifier.verify_session(record)
+        diagnosed = verifier.verify_session_diagnosed(record)
+        assert plain.is_attacker  # the guess punishes a legitimate user
+        assert not diagnosed.is_conclusive  # the honest answer
+
+    def test_short_session_raises(self, verifier, env):
+        record = simulate_genuine_session(duration_s=8.0, seed=704, env=env)
+        with pytest.raises(ValueError):
+            verifier.verify_session_diagnosed(record)

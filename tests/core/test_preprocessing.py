@@ -1,0 +1,193 @@
+"""The Sec. V filter chain: each stage's numerics plus the composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.preprocessing import (
+    design_lowpass,
+    lowpass_filter,
+    moving_average,
+    moving_rms,
+    moving_variance,
+    preprocess,
+    savgol_coefficients,
+    savgol_filter,
+    threshold_filter,
+)
+
+
+class TestLowpassDesign:
+    def test_unit_dc_gain(self):
+        kernel = design_lowpass(1.0, 10.0, 41)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_kernel_is_symmetric(self):
+        kernel = design_lowpass(1.0, 10.0, 41)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_rejects_cutoff_at_nyquist(self):
+        with pytest.raises(ValueError):
+            design_lowpass(5.0, 10.0, 41)
+
+    def test_rejects_even_taps(self):
+        with pytest.raises(ValueError):
+            design_lowpass(1.0, 10.0, 40)
+
+
+class TestLowpassFilter:
+    def test_preserves_dc(self):
+        x = np.full(100, 42.0)
+        assert np.allclose(lowpass_filter(x, 10.0), 42.0)
+
+    def test_attenuates_high_frequency(self):
+        t = np.arange(200) / 10.0
+        lo = np.sin(2 * np.pi * 0.2 * t)
+        hi = np.sin(2 * np.pi * 4.0 * t)
+        out = lowpass_filter(lo + hi, 10.0)
+        # The 4 Hz component should be crushed; the 0.2 Hz one kept.
+        residual_hi = out - lowpass_filter(lo, 10.0)
+        assert np.abs(residual_hi[30:-30]).max() < 0.05
+        assert np.abs(out[30:-30]).max() > 0.8
+
+    def test_length_preserved(self):
+        x = np.random.default_rng(0).normal(size=57)
+        assert lowpass_filter(x, 10.0).size == 57
+
+    def test_short_signal_does_not_crash(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert lowpass_filter(x, 10.0).size == 3
+
+
+class TestMovingVariance:
+    def test_constant_signal_zero_variance(self):
+        assert np.allclose(moving_variance(np.full(30, 7.0), 10), 0.0)
+
+    def test_step_produces_local_bump(self):
+        x = np.concatenate([np.zeros(30), np.full(30, 10.0)])
+        var = moving_variance(x, 10)
+        assert var[:25].max() == 0.0
+        assert var[45:].max() == 0.0
+        assert var[28:40].max() == pytest.approx(25.0)  # (h/2)^2 at the edge
+
+    def test_matches_numpy_variance_per_window(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=50)
+        var = moving_variance(x, 10)
+        for i in range(9, 50):
+            assert var[i] == pytest.approx(np.var(x[i - 9 : i + 1]), abs=1e-10)
+
+    def test_prefix_windows_grow(self):
+        x = np.array([0.0, 10.0, 0.0, 10.0])
+        var = moving_variance(x, 10)
+        assert var[0] == 0.0
+        assert var[1] == pytest.approx(np.var(x[:2]))
+
+    def test_never_negative(self):
+        x = np.random.default_rng(2).normal(size=100) * 1e8
+        assert (moving_variance(x, 10) >= 0).all()
+
+
+class TestThresholdFilter:
+    def test_zeroes_below_cutoff(self):
+        x = np.array([0.5, 2.0, 1.9, 3.0])
+        out = threshold_filter(x, 2.0)
+        assert list(out) == [0.0, 2.0, 0.0, 3.0]
+
+    def test_rejects_negative_cutoff(self):
+        with pytest.raises(ValueError):
+            threshold_filter(np.zeros(3), -1.0)
+
+
+class TestMovingRms:
+    def test_constant_signal_is_fixed_point(self):
+        assert np.allclose(moving_rms(np.full(50, 3.0), 30), 3.0)
+
+    def test_rms_of_centered_window(self):
+        x = np.zeros(60)
+        x[30] = 6.0
+        out = moving_rms(x, 30)
+        # Any window containing the spike has RMS sqrt(36/30).
+        assert out[30] == pytest.approx(np.sqrt(36.0 / 30.0))
+
+    def test_non_negative(self):
+        x = np.random.default_rng(3).normal(size=80)
+        assert (moving_rms(x, 30) >= 0).all()
+
+
+class TestSavgol:
+    def test_coefficients_sum_to_one(self):
+        assert savgol_coefficients(31, 3).sum() == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        scipy_signal = pytest.importorskip("scipy.signal")
+        ours = savgol_coefficients(31, 3)
+        theirs = scipy_signal.savgol_coeffs(31, 3)
+        assert np.allclose(ours, theirs)
+
+    def test_polynomial_is_reproduced_exactly(self):
+        # A cubic is in the fit space, so the filter must pass it through.
+        t = np.linspace(-1, 1, 101)
+        x = 2 + t - 0.5 * t**2 + 0.3 * t**3
+        out = savgol_filter(x, 31, 3)
+        assert np.allclose(out[20:-20], x[20:-20], atol=1e-8)
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError):
+            savgol_coefficients(30, 3)
+
+
+class TestMovingAverage:
+    def test_preserves_mean_of_constant(self):
+        assert np.allclose(moving_average(np.full(40, 5.0), 10), 5.0)
+
+    def test_smooths_alternating_signal(self):
+        x = np.tile([0.0, 10.0], 30)
+        out = moving_average(x, 10)
+        assert np.abs(out[10:-10] - 5.0).max() < 1.1
+
+
+class TestPreprocessComposition:
+    def test_all_stages_present_and_same_length(self, step_signal, config):
+        pre = preprocess(step_signal, config, config.peak_prominence_screen)
+        n = step_signal.size
+        for name in ("raw", "lowpassed", "variance", "thresholded", "rms", "savgol", "smoothed"):
+            assert getattr(pre, name).size == n
+
+    def test_two_steps_give_two_peaks(self, step_signal, config):
+        pre = preprocess(step_signal, config, config.peak_prominence_screen)
+        assert pre.change_count == 2
+        # Steps at 4 s and 11 s; variance peaks trail slightly.
+        assert abs(pre.peak_times[0] - 4.0) < 1.2
+        assert abs(pre.peak_times[1] - 11.0) < 1.2
+
+    def test_smoothed_signal_clamped_non_negative(self, step_signal, config):
+        pre = preprocess(step_signal, config, config.peak_prominence_screen)
+        assert (pre.smoothed >= 0).all()
+        assert (pre.savgol >= 0).all()
+
+    def test_no_phantom_midpoint_peak(self, config):
+        # Regression: Savitzky-Golay undershoot between two lumps used to
+        # create a spurious negative-valued local maximum.
+        x = np.full(150, 180.0)
+        x[40:] -= 40.0
+        x[110:] += 40.0
+        pre = preprocess(x, config, 0.5)
+        times = pre.peak_times
+        mid = (times > 6.0) & (times < 9.5)
+        assert not mid.any(), f"phantom peaks at {times[mid]}"
+
+    def test_flat_signal_has_no_changes(self, config):
+        pre = preprocess(np.full(150, 100.0), config, 0.5)
+        assert pre.change_count == 0
+
+    def test_noise_only_signal_has_no_changes(self, config):
+        rng = np.random.default_rng(7)
+        x = 150.0 + rng.normal(0.0, 0.8, 150)  # sensor-level noise
+        pre = preprocess(x, config, config.peak_prominence_face)
+        assert pre.change_count == 0
+
+    def test_peak_times_use_sample_rate(self, step_signal):
+        cfg5 = DetectorConfig(sample_rate_hz=5.0)
+        pre = preprocess(step_signal, cfg5, 10.0)
+        assert np.allclose(pre.peak_times, pre.peak_indices / 5.0)

@@ -1,0 +1,88 @@
+"""Figure generators: registry, output format, file writing."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureVector
+from repro.experiments.dataset import ATTACK, GENUINE, ClipInstance, FeatureDataset
+from repro.experiments.figures import (
+    FIGURES,
+    figure_11_overall,
+    figure_12_threshold,
+    figure_14_attempts,
+    figure_15_training_size,
+    figure_17_forgery_delay,
+    generate_all,
+)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """Separable synthetic feature dataset with real-ish signals."""
+    rng = np.random.default_rng(1)
+    instances = []
+    for user in ("u0", "u1"):
+        for i in range(30):
+            t = np.full(150, 180.0)
+            a = int(rng.integers(35, 60))
+            b = a + int(rng.integers(45, 60))
+            t[a:] -= 50.0
+            t[b:] += 40.0
+            r = 120.0 + 0.3 * np.concatenate([np.full(4, t[0]), t[:-4]])
+            z = FeatureVector(
+                1.0,
+                float(rng.choice([1.0, 1.0, 0.667])),
+                float(rng.uniform(0.88, 1.0)),
+                float(rng.uniform(0.02, 0.2)),
+            )
+            instances.append(
+                ClipInstance(user, GENUINE, i, z, t, r + rng.normal(0, 0.3, 150))
+            )
+        for i in range(30):
+            z = FeatureVector(
+                float(rng.uniform(0, 0.6)),
+                float(rng.uniform(0, 0.7)),
+                float(rng.uniform(-0.9, 0.3)),
+                float(rng.uniform(0.5, 1.4)),
+            )
+            instances.append(
+                ClipInstance(user, ATTACK, i, z, np.zeros(150), np.zeros(150))
+            )
+    return FeatureDataset(instances)
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        assert {"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ambient"} <= set(
+            FIGURES
+        )
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_all(tmp_path, only=["fig99"])
+
+
+class TestGenerators:
+    def test_fig11_lines(self, small_dataset):
+        lines = figure_11_overall(small_dataset)
+        assert lines[0].startswith("Fig. 11")
+        assert any("AVERAGE" in line for line in lines)
+        assert any("u0" in line for line in lines)
+
+    def test_fig12_reports_eer(self, small_dataset):
+        lines = figure_12_threshold(small_dataset)
+        assert any("EER" in line for line in lines)
+
+    def test_fig14_rows_per_attempt(self, small_dataset):
+        lines = figure_14_attempts(small_dataset)
+        data_rows = [l for l in lines[2:]]
+        assert len(data_rows) == 7  # D = 1..7
+
+    def test_fig15_rows_per_size(self, small_dataset):
+        lines = figure_15_training_size(small_dataset)
+        assert len(lines) == 2 + 5  # header + sizes (4,8,12,16,20)
+
+    def test_fig17_monotone_story(self, small_dataset):
+        lines = figure_17_forgery_delay(small_dataset)
+        values = [float(line.split()[-1]) for line in lines[2:]]
+        assert values[-1] >= values[0]

@@ -1,0 +1,71 @@
+"""Population and environment profiles."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.profiles import (
+    DEFAULT_ENVIRONMENT,
+    Environment,
+    UserProfile,
+    make_population,
+)
+from repro.vision.face_model import make_face
+
+
+class TestPopulation:
+    def test_default_size_is_ten(self):
+        assert len(make_population()) == 10
+
+    def test_unique_names(self):
+        names = [u.name for u in make_population()]
+        assert len(set(names)) == 10
+
+    def test_skin_tone_diversity(self):
+        # The paper's population spans dark and light skin.
+        reflectances = [u.face.skin_reflectance.mean() for u in make_population()]
+        assert max(reflectances) > 2 * min(reflectances)
+
+    def test_some_wear_glasses(self):
+        population = make_population()
+        assert any(u.face.has_glasses for u in population)
+        assert not all(u.face.has_glasses for u in population)
+
+    def test_deterministic(self):
+        a = make_population(seed=9)
+        b = make_population(seed=9)
+        assert all(
+            np.allclose(x.face.skin_reflectance, y.face.skin_reflectance)
+            for x, y in zip(a, b)
+        )
+
+    def test_movement_within_expression_bounds(self):
+        for user in make_population(20):
+            assert 0.0 <= user.movement_amplitude <= 0.04
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            make_population(0)
+
+
+class TestEnvironment:
+    def test_paper_defaults(self):
+        assert DEFAULT_ENVIRONMENT.screen.diagonal_in == 27.0
+        assert DEFAULT_ENVIRONMENT.screen.brightness == 0.85
+        assert DEFAULT_ENVIRONMENT.fps == 10.0
+
+    def test_replace_sweeps_one_knob(self):
+        loud = DEFAULT_ENVIRONMENT.replace(prover_ambient_lux=240.0)
+        assert loud.prover_ambient_lux == 240.0
+        assert loud.screen == DEFAULT_ENVIRONMENT.screen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Environment(viewing_distance_m=0.0)
+        with pytest.raises(ValueError):
+            Environment(prover_ambient_lux=-5.0)
+
+
+class TestUserProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile(name="x", face=make_face("x"), seed=0, movement_amplitude=-1.0)

@@ -1,0 +1,173 @@
+"""Experiment runners: protocol mechanics on synthetic feature banks.
+
+These tests validate the *protocol* (splits, rounds, voting, sweeps) on
+hand-built datasets where the right answer is known, rather than paying
+for full simulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.features import FeatureVector
+from repro.experiments.dataset import ATTACK, GENUINE, ClipInstance, FeatureDataset
+from repro.experiments.runner import (
+    run_attempts,
+    run_forgery_delay,
+    run_overall,
+    run_threshold_sweep,
+    run_training_size,
+    score_round,
+)
+
+
+def _instance(user, role, z, seed=0, signals=None):
+    t_sig, r_sig = signals if signals is not None else (np.zeros(150), np.zeros(150))
+    return ClipInstance(
+        user=user,
+        role=role,
+        seed=seed,
+        features=FeatureVector(*z),
+        transmitted_luminance=t_sig,
+        received_luminance=r_sig,
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic_dataset():
+    """Two users with clearly separable genuine/attack features."""
+    rng = np.random.default_rng(0)
+    instances = []
+    for user in ("u0", "u1"):
+        for i in range(40):
+            z = (
+                1.0,
+                float(rng.choice([1.0, 1.0, 0.667])),
+                float(rng.uniform(0.85, 1.0)),
+                float(rng.uniform(0.02, 0.2)),
+            )
+            instances.append(_instance(user, GENUINE, z, seed=i))
+        for i in range(40):
+            z = (
+                float(rng.uniform(0.0, 0.7)),
+                float(rng.uniform(0.0, 0.8)),
+                float(rng.uniform(-0.9, 0.4)),
+                float(rng.uniform(0.4, 1.5)),
+            )
+            instances.append(_instance(user, ATTACK, z, seed=i))
+    return FeatureDataset(instances)
+
+
+class TestScoreRound:
+    def test_split_sizes(self, synthetic_dataset):
+        genuine = synthetic_dataset.features_of("u0", GENUINE)
+        attacks = synthetic_dataset.features_of("u0", ATTACK)
+        g, a = score_round(genuine, attacks, 20, DetectorConfig(), np.random.default_rng(1))
+        assert g.size == 20  # 40 - 20 held out
+        assert a.size == 40
+
+    def test_train_pool_mode_tests_everything(self, synthetic_dataset):
+        genuine = synthetic_dataset.features_of("u0", GENUINE)
+        pool = synthetic_dataset.features_of("u1", GENUINE)
+        g, _ = score_round(
+            genuine, np.empty((0, 4)), 20, DetectorConfig(), np.random.default_rng(1), train_pool=pool
+        )
+        assert g.size == 40
+
+    def test_consuming_all_data_raises(self, synthetic_dataset):
+        genuine = synthetic_dataset.features_of("u0", GENUINE)
+        with pytest.raises(ValueError):
+            score_round(genuine, np.empty((0, 4)), 40, DetectorConfig(), np.random.default_rng(1))
+
+
+class TestRunOverall:
+    def test_separable_dataset_scores_high(self, synthetic_dataset):
+        result = run_overall(synthetic_dataset, rounds=5, train_size=20)
+        assert result.avg_tar_own > 0.85
+        assert result.avg_trr > 0.9
+        assert len(result.per_user) == 2
+
+    def test_requires_two_users(self, synthetic_dataset):
+        solo = FeatureDataset(synthetic_dataset.select("u0"))
+        with pytest.raises(ValueError):
+            run_overall(solo, rounds=2)
+
+    def test_deterministic_given_seed(self, synthetic_dataset):
+        a = run_overall(synthetic_dataset, rounds=3, seed=5)
+        b = run_overall(synthetic_dataset, rounds=3, seed=5)
+        assert a.avg_tar_own == b.avg_tar_own
+
+
+class TestThresholdSweep:
+    def test_far_increases_frr_decreases(self, synthetic_dataset):
+        sweep = run_threshold_sweep(synthetic_dataset, rounds=4)
+        assert (np.diff(sweep.far) >= -1e-9).all()
+        assert (np.diff(sweep.frr) <= 1e-9).all()
+
+    def test_eer_reasonable(self, synthetic_dataset):
+        sweep = run_threshold_sweep(synthetic_dataset, rounds=4)
+        assert 0.0 <= sweep.eer < 0.2
+
+
+class TestAttempts:
+    def test_voting_improves_over_single(self, synthetic_dataset):
+        result = run_attempts(
+            synthetic_dataset, attempts=(1, 5), rounds=5, trials_per_round=10
+        )
+        assert result.tar_own_mean[1] >= result.tar_own_mean[0] - 0.02
+        assert result.trr_mean[1] >= result.trr_mean[0] - 0.05
+
+    def test_variance_shrinks_with_attempts(self, synthetic_dataset):
+        result = run_attempts(
+            synthetic_dataset, attempts=(1, 7), rounds=5, trials_per_round=10
+        )
+        assert result.tar_own_std[1] <= result.tar_own_std[0] + 0.02
+
+
+class TestTrainingSize:
+    def test_accuracy_grows_with_training_data(self, synthetic_dataset):
+        result = run_training_size(
+            synthetic_dataset, user="u0", sizes=(6, 20), rounds=8
+        )
+        # Fig. 15's effect: more data, higher and steadier rates.
+        assert result.trr_mean[1] >= result.trr_mean[0] - 0.05
+        assert result.tar_std[1] <= result.tar_std[0] + 0.05
+
+
+class TestForgeryDelay:
+    @pytest.fixture(scope="class")
+    def signal_dataset(self):
+        """Genuine clips with real correlated signals for delay shifting."""
+        rng = np.random.default_rng(3)
+        instances = []
+        for i in range(12):
+            t = np.full(150, 180.0)
+            a = int(rng.integers(35, 65))
+            b = a + int(rng.integers(45, 60))  # well-separated challenges
+            t[a:] -= 50.0
+            t[b:] += 40.0
+            r = 120.0 + 0.3 * np.concatenate([np.full(4, t[0]), t[:-4]])
+            r = r + rng.normal(0, 0.3, 150)
+            fv = FeatureVector(1.0, 1.0, float(rng.uniform(0.9, 1.0)), float(rng.uniform(0.02, 0.15)))
+            instances.append(_instance("u0", GENUINE, (fv.z1, fv.z2, fv.z3, fv.z4), seed=i, signals=(t, r)))
+        return FeatureDataset(instances)
+
+    def test_rejection_grows_with_delay(self, signal_dataset):
+        result = run_forgery_delay(
+            signal_dataset,
+            delays_s=(0.0, 2.0),
+            rounds=2,
+            train_size=8,
+            max_clips_per_user=12,
+        )
+        assert result.rejection_rate[1] > result.rejection_rate[0]
+
+    def test_zero_delay_mostly_accepted(self, signal_dataset):
+        result = run_forgery_delay(
+            signal_dataset,
+            delays_s=(0.0,),
+            rounds=2,
+            train_size=8,
+            max_clips_per_user=12,
+        )
+        assert result.rejection_rate[0] < 0.5

@@ -1,0 +1,134 @@
+"""End-to-end integration: the whole system, attacker vs defender.
+
+These tests run full simulated chats through the full detection pipeline
+— renderer, camera, screen, network, landmark detection, filter chain,
+features, LOF, voting — and assert the *security outcomes* the paper
+claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ChatVerifier
+from repro.experiments.profiles import Environment
+from repro.experiments.simulate import (
+    default_user,
+    simulate_adaptive_attack_session,
+    simulate_attack_session,
+    simulate_genuine_session,
+    simulate_replay_attack_session,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return Environment(frame_size=(72, 72), verifier_frame_size=(48, 48))
+
+
+@pytest.fixture(scope="module")
+def verifier(env):
+    chat_verifier = ChatVerifier()
+    sessions = [
+        simulate_genuine_session(duration_s=15.0, seed=900 + s, env=env)
+        for s in range(10)
+    ]
+    return chat_verifier.enroll(sessions)
+
+
+class TestSecurityOutcomes:
+    def test_genuine_users_mostly_accepted(self, verifier, env):
+        accepted = 0
+        for seed in range(1000, 1008):
+            record = simulate_genuine_session(duration_s=15.0, seed=seed, env=env)
+            if not verifier.verify_session(record).is_attacker:
+                accepted += 1
+        assert accepted >= 6  # paper: ~92.5% single-attempt TAR
+
+    def test_reenactment_attacks_mostly_rejected(self, verifier, env):
+        rejected = 0
+        for seed in range(1100, 1108):
+            record = simulate_attack_session(duration_s=15.0, seed=seed, env=env)
+            if verifier.verify_session(record).is_attacker:
+                rejected += 1
+        assert rejected >= 7  # paper: ~94.4% single-attempt TRR
+
+    def test_replay_attacks_rejected(self, verifier, env):
+        rejected = 0
+        for seed in range(1200, 1205):
+            record = simulate_replay_attack_session(duration_s=15.0, seed=seed, env=env)
+            if verifier.verify_session(record).is_attacker:
+                rejected += 1
+        assert rejected >= 4
+
+    def test_slow_adaptive_forger_rejected(self, verifier, env):
+        """Fig. 17: a luminance forger with > 1.3 s processing delay
+        cannot pass."""
+        rejected = 0
+        for seed in range(1300, 1305):
+            record = simulate_adaptive_attack_session(
+                processing_delay_s=2.0, duration_s=15.0, seed=seed, env=env
+            )
+            if verifier.verify_session(record).is_attacker:
+                rejected += 1
+        assert rejected >= 4
+
+    def test_instant_adaptive_forger_passes(self, verifier, env):
+        """The flip side the paper concedes: a zero-delay perfect forgery
+        is indistinguishable — the defense *raises the bar*, it does not
+        make attacks impossible."""
+        accepted = 0
+        for seed in range(1400, 1404):
+            record = simulate_adaptive_attack_session(
+                processing_delay_s=0.0, duration_s=15.0, seed=seed, env=env
+            )
+            if not verifier.verify_session(record).is_attacker:
+                accepted += 1
+        assert accepted >= 2
+
+
+class TestCrossUserTraining:
+    def test_enrollment_transfers_across_users(self, env):
+        """Fig. 11's headline property: a bank trained on *other* people
+        protects a brand-new user without any new enrollment."""
+        from repro.experiments.profiles import make_population
+
+        population = make_population(3, seed=77)
+        verifier = ChatVerifier()
+        verifier.enroll(
+            [
+                simulate_genuine_session(
+                    duration_s=15.0, seed=2000 + s, env=env, user=population[0]
+                )
+                for s in range(8)
+            ]
+        )
+        new_user = population[2]
+        accepted = 0
+        for seed in range(2100, 2106):
+            record = simulate_genuine_session(
+                duration_s=15.0, seed=seed, env=env, user=new_user
+            )
+            if not verifier.verify_session(record).is_attacker:
+                accepted += 1
+        assert accepted >= 4
+
+        rejected = 0
+        for seed in range(2200, 2206):
+            record = simulate_attack_session(
+                duration_s=15.0, seed=seed, env=env, victim=new_user
+            )
+            if verifier.verify_session(record).is_attacker:
+                rejected += 1
+        assert rejected >= 5
+
+
+class TestEvidenceQuality:
+    def test_attack_scores_separate_from_genuine(self, verifier, env):
+        genuine_scores = []
+        attack_scores = []
+        for seed in range(1500, 1505):
+            g = simulate_genuine_session(duration_s=15.0, seed=seed, env=env)
+            a = simulate_attack_session(duration_s=15.0, seed=seed, env=env)
+            genuine_scores.append(verifier.verify_session(g).attempts[0].lof_score)
+            attack_scores.append(verifier.verify_session(a).attempts[0].lof_score)
+        assert np.median(attack_scores) > 3 * np.median(genuine_scores)

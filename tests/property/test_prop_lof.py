@@ -1,0 +1,65 @@
+"""Property-based tests of the LOF model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lof import LocalOutlierFactor
+
+
+@st.composite
+def cluster_and_query(draw):
+    n = draw(st.integers(min_value=7, max_value=30))
+    dim = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    cluster = rng.normal(0.0, 1.0, size=(n, dim))
+    query = rng.normal(0.0, 1.0, size=dim)
+    return cluster, query
+
+
+class TestLofProperties:
+    @given(cluster_and_query())
+    @settings(max_examples=40, deadline=None)
+    def test_score_positive(self, data):
+        cluster, query = data
+        model = LocalOutlierFactor(5).fit(cluster)
+        assert model.score(query) > 0.0
+
+    @given(cluster_and_query())
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance(self, data):
+        cluster, query = data
+        rng = np.random.default_rng(1)
+        shuffled = cluster[rng.permutation(cluster.shape[0])]
+        a = LocalOutlierFactor(5).fit(cluster).score(query)
+        b = LocalOutlierFactor(5).fit(shuffled).score(query)
+        assert np.isclose(a, b)
+
+    @given(cluster_and_query(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariance(self, data, factor):
+        """LOF is a density *ratio*: scaling all coordinates uniformly
+        leaves the score unchanged."""
+        cluster, query = data
+        a = LocalOutlierFactor(5).fit(cluster).score(query)
+        b = LocalOutlierFactor(5).fit(cluster * factor).score(query * factor)
+        assert np.isclose(a, b, rtol=1e-9)
+
+    @given(cluster_and_query(), st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, data, offset):
+        cluster, query = data
+        a = LocalOutlierFactor(5).fit(cluster).score(query)
+        b = LocalOutlierFactor(5).fit(cluster + offset).score(query + offset)
+        assert np.isclose(a, b, rtol=1e-6, atol=1e-9)
+
+    @given(cluster_and_query())
+    @settings(max_examples=30, deadline=None)
+    def test_far_point_scores_higher_than_center(self, data):
+        cluster, _ = data
+        model = LocalOutlierFactor(5).fit(cluster)
+        center = cluster.mean(axis=0)
+        spread = cluster.std()
+        far = center + 100.0 * max(spread, 1e-3)
+        assert model.score(far) >= model.score(center)

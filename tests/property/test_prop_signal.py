@@ -1,0 +1,100 @@
+"""Property-based tests of the signal-processing stages."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.preprocessing import (
+    lowpass_filter,
+    moving_average,
+    moving_rms,
+    moving_variance,
+    threshold_filter,
+)
+
+finite_signal = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=5, max_value=200),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+)
+
+
+class TestShapeInvariants:
+    @given(finite_signal)
+    @settings(max_examples=40, deadline=None)
+    def test_every_stage_preserves_length(self, x):
+        assert lowpass_filter(x, 10.0).size == x.size
+        assert moving_variance(x, 10).size == x.size
+        assert threshold_filter(x, 2.0).size == x.size
+        assert moving_rms(x, 30).size == x.size
+        assert moving_average(x, 10).size == x.size
+
+
+class TestVarianceProperties:
+    @given(finite_signal)
+    @settings(max_examples=40, deadline=None)
+    def test_variance_non_negative(self, x):
+        assert (moving_variance(x, 10) >= 0).all()
+
+    @given(finite_signal, st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_variance_shift_invariant(self, x, offset):
+        a = moving_variance(x, 10)
+        b = moving_variance(x + offset, 10)
+        scale = max(np.abs(x).max(), abs(offset), 1.0)
+        assert np.allclose(a, b, atol=1e-6 * scale**2 + 1e-9)
+
+    @given(finite_signal, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_variance_scales_quadratically(self, x, factor):
+        a = moving_variance(x, 10)
+        b = moving_variance(x * factor, 10)
+        # Absolute tolerance tracks the cancellation error of the
+        # cumulative-sum formulation at the signal's magnitude.
+        scale = (np.abs(x).max() * max(factor, 1.0) + 1.0) ** 2
+        assert np.allclose(b, a * factor**2, rtol=1e-6, atol=1e-9 * scale)
+
+
+class TestLinearStageProperties:
+    @given(finite_signal, finite_signal)
+    @settings(max_examples=30, deadline=None)
+    def test_lowpass_is_linear(self, x, y):
+        n = min(x.size, y.size)
+        x, y = x[:n], y[:n]
+        combined = lowpass_filter(x + y, 10.0)
+        separate = lowpass_filter(x, 10.0) + lowpass_filter(y, 10.0)
+        scale = max(np.abs(x).max(), np.abs(y).max(), 1.0)
+        assert np.allclose(combined, separate, atol=1e-9 * scale)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+           st.integers(min_value=5, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_constants_are_fixed_points(self, value, n):
+        x = np.full(n, value)
+        assert np.allclose(lowpass_filter(x, 10.0), value, atol=1e-9 * max(abs(value), 1))
+        assert np.allclose(moving_average(x, 10), value, atol=1e-9 * max(abs(value), 1))
+
+
+class TestThresholdProperties:
+    @given(finite_signal, st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_zero_or_original(self, x, cutoff):
+        out = threshold_filter(x, cutoff)
+        assert ((out == 0.0) | (out == x)).all()
+
+    @given(finite_signal)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, x):
+        once = threshold_filter(x, 2.0)
+        twice = threshold_filter(once, 2.0)
+        assert np.array_equal(once, twice)
+
+
+class TestRmsProperties:
+    @given(finite_signal)
+    @settings(max_examples=40, deadline=None)
+    def test_rms_non_negative_and_bounded(self, x):
+        out = moving_rms(x, 30)
+        assert (out >= 0).all()
+        assert out.max() <= np.abs(x).max() + 1e-9

@@ -1,0 +1,91 @@
+"""Property-based tests of the video plumbing (codec, stream)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.codec import VideoCodec
+from repro.video.frame import Frame
+from repro.video.stream import VideoStream
+
+
+@st.composite
+def random_frame(draw):
+    h = draw(st.integers(min_value=2, max_value=24))
+    w = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    return Frame(pixels=rng.uniform(0, 255, size=(h, w, 3)), timestamp=0.0)
+
+
+class TestCodecProperties:
+    @given(random_frame(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_error_bounded_by_half_step(self, frame, quality):
+        codec = VideoCodec(quality=quality)
+        decoded = codec.decode(codec.encode(frame))
+        assert np.abs(decoded.pixels - frame.pixels).max() <= codec.quant_step / 2 + 1e-9
+
+    @given(random_frame(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_on_own_output(self, frame, quality):
+        codec = VideoCodec(quality=quality)
+        once = codec.decode(codec.encode(frame))
+        twice = codec.decode(codec.encode(once))
+        assert np.array_equal(once.pixels, twice.pixels)
+
+    @given(random_frame())
+    @settings(max_examples=40, deadline=None)
+    def test_output_on_8bit_grid(self, frame):
+        codec = VideoCodec(quality=1.0)
+        decoded = codec.decode(codec.encode(frame))
+        assert np.array_equal(decoded.pixels, np.round(decoded.pixels))
+        assert decoded.pixels.min() >= 0
+        assert decoded.pixels.max() <= 255
+
+
+@st.composite
+def stream_and_rate(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    fps = draw(st.sampled_from([10.0, 15.0, 30.0]))
+    target = draw(st.sampled_from([5.0, 8.0, 10.0]))
+    frames = [
+        Frame(pixels=np.full((2, 2, 3), float(i % 255)), timestamp=i / fps)
+        for i in range(n)
+    ]
+    return VideoStream(fps=fps, frames=frames), target
+
+
+class TestStreamProperties:
+    @given(stream_and_rate())
+    @settings(max_examples=40, deadline=None)
+    def test_resampled_timestamps_uniform_and_causal(self, data):
+        stream, rate = data
+        out = stream.resampled(rate)
+        times = out.timestamps
+        if times.size >= 2:
+            assert np.allclose(np.diff(times), 1.0 / rate)
+        for frame in out:
+            assert frame.metadata["source_timestamp"] <= frame.timestamp + 1e-9
+
+    @given(stream_and_rate())
+    @settings(max_examples=40, deadline=None)
+    def test_resampling_never_invents_frames(self, data):
+        stream, rate = data
+        source_values = {float(f.pixels[0, 0, 0]) for f in stream}
+        for frame in stream.resampled(rate):
+            assert float(frame.pixels[0, 0, 0]) in source_values
+
+    @given(stream_and_rate(), st.floats(min_value=0.3, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_segments_partition_prefix(self, data, duration):
+        stream, _ = data
+        clips = stream.segments(duration)
+        per_clip = int(round(duration * stream.fps))
+        if per_clip < 1:
+            return
+        assert all(len(c) == per_clip for c in clips)
+        # Clips tile the stream prefix in order.
+        flattened = [f.timestamp for c in clips for f in c]
+        assert flattened == sorted(flattened)
+        assert len(flattened) <= len(stream)

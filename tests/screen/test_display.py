@@ -1,0 +1,82 @@
+"""Display photometry."""
+
+import math
+
+import pytest
+
+from repro.screen.display import (
+    DELL_27_LED,
+    PHONE_6_OLED,
+    SCREEN_SIZE_LADDER,
+    ScreenSpec,
+)
+
+
+class TestGeometry:
+    def test_27_inch_16x9_dimensions(self):
+        # 27" 16:9: ~59.8 x 33.6 cm.
+        assert DELL_27_LED.width_m == pytest.approx(0.598, abs=0.005)
+        assert DELL_27_LED.height_m == pytest.approx(0.336, abs=0.005)
+
+    def test_area_consistent(self):
+        assert DELL_27_LED.area_m2 == pytest.approx(
+            DELL_27_LED.width_m * DELL_27_LED.height_m
+        )
+
+    def test_diagonal_recovered(self):
+        diag_m = math.hypot(DELL_27_LED.width_m, DELL_27_LED.height_m)
+        assert diag_m == pytest.approx(27 * 0.0254, rel=1e-6)
+
+    def test_ladder_descends_in_area(self):
+        areas = [s.area_m2 for s in SCREEN_SIZE_LADDER]
+        assert areas == sorted(areas, reverse=True)
+
+
+class TestEmission:
+    def test_white_frame_emits_peak(self):
+        spec = ScreenSpec(diagonal_in=27, technology="led", brightness=1.0, black_level=0.0)
+        assert spec.emitted_luminance(255.0) == pytest.approx(spec.effective_peak_nits)
+
+    def test_black_frame_emits_black_level(self):
+        spec = ScreenSpec(diagonal_in=27, technology="lcd", brightness=1.0)
+        expected = spec.effective_black_level * spec.effective_peak_nits
+        assert spec.emitted_luminance(0.0) == pytest.approx(expected)
+
+    def test_oled_black_is_zero(self):
+        assert PHONE_6_OLED.emitted_luminance(0.0) == 0.0
+
+    def test_emission_monotonic_in_content(self):
+        values = [DELL_27_LED.emitted_luminance(v) for v in (0, 64, 128, 192, 255)]
+        assert values == sorted(values)
+
+    def test_brightness_scales_emission(self):
+        dim = ScreenSpec(diagonal_in=27, brightness=0.4)
+        bright = ScreenSpec(diagonal_in=27, brightness=0.8)
+        assert bright.emitted_luminance(200.0) == pytest.approx(
+            2 * dim.emitted_luminance(200.0)
+        )
+
+    def test_gamma_makes_midgray_darker_than_half(self):
+        spec = ScreenSpec(diagonal_in=27, black_level=0.0)
+        assert spec.emitted_luminance(128.0) < 0.5 * spec.emitted_luminance(255.0)
+
+    def test_out_of_range_content_clamped(self):
+        assert DELL_27_LED.emitted_luminance(300.0) == DELL_27_LED.emitted_luminance(255.0)
+        assert DELL_27_LED.emitted_luminance(-5.0) == DELL_27_LED.emitted_luminance(0.0)
+
+
+class TestValidation:
+    def test_unknown_technology(self):
+        with pytest.raises(ValueError):
+            ScreenSpec(diagonal_in=27, technology="crt")
+
+    def test_bad_brightness(self):
+        with pytest.raises(ValueError):
+            ScreenSpec(diagonal_in=27, brightness=1.5)
+
+    def test_bad_diagonal(self):
+        with pytest.raises(ValueError):
+            ScreenSpec(diagonal_in=0)
+
+    def test_paper_testbed_brightness(self):
+        assert DELL_27_LED.brightness == 0.85

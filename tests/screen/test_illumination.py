@@ -1,0 +1,140 @@
+"""Illumination physics: screen-to-face transfer, ambient process."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.screen.illumination import (
+    AmbientEvent,
+    AmbientLight,
+    screen_illuminance,
+    von_kries_reflection,
+)
+
+
+class TestScreenIlluminance:
+    def test_inverse_square_far_field(self):
+        area = 0.01
+        near = screen_illuminance(100.0, area, 2.0)
+        far = screen_illuminance(100.0, area, 4.0)
+        assert near / far == pytest.approx(4.0, rel=0.02)
+
+    def test_close_up_limit_is_pi_l(self):
+        assert screen_illuminance(100.0, 0.2, 0.0) == pytest.approx(math.pi * 100.0)
+
+    def test_bigger_screen_more_light(self):
+        small = screen_illuminance(100.0, 0.01, 0.5)
+        large = screen_illuminance(100.0, 0.2, 0.5)
+        assert large > small
+
+    def test_phone_at_arms_length_is_weak(self):
+        # Sec. VIII-E: a 6" phone only works at ~10 cm.
+        phone_area = 0.008
+        at_10cm = screen_illuminance(300.0, phone_area, 0.1)
+        at_50cm = screen_illuminance(300.0, phone_area, 0.5)
+        assert at_10cm > 8 * at_50cm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            screen_illuminance(-1.0, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            screen_illuminance(1.0, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            screen_illuminance(1.0, 0.1, -0.5)
+
+
+class TestVonKries:
+    def test_scalar_reflection(self):
+        out = von_kries_reflection(100.0, np.array([0.6, 0.4, 0.3]))
+        assert np.allclose(out, [60.0, 40.0, 30.0])
+
+    def test_time_series_broadcast(self):
+        illum = np.array([10.0, 20.0])
+        out = von_kries_reflection(illum, np.array([0.5, 0.5, 0.5]))
+        assert out.shape == (2, 3)
+        assert np.allclose(out[1], 2 * out[0])
+
+    def test_proportionality_eq2(self):
+        reflectance = np.array([0.6, 0.4, 0.3])
+        a = von_kries_reflection(50.0, reflectance)
+        b = von_kries_reflection(150.0, reflectance)
+        assert np.allclose(b / a, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            von_kries_reflection(10.0, np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            von_kries_reflection(-1.0, np.array([0.5, 0.5, 0.5]))
+        with pytest.raises(ValueError):
+            von_kries_reflection(1.0, np.array([0.5, 0.5, 1.5]))
+
+
+class TestAmbientEvent:
+    def test_profile_rises_and_falls(self):
+        event = AmbientEvent(start_s=5.0, duration_s=2.0, delta_lux=10.0)
+        t = np.array([4.0, 5.05, 6.0, 7.05, 8.0])
+        contribution = event.contribution(t)
+        assert contribution[0] == 0.0
+        assert 0 < contribution[1] < 10.0
+        assert contribution[2] == pytest.approx(10.0)
+        assert contribution[4] == pytest.approx(0.0)
+
+
+class TestAmbientLight:
+    def test_constant_base(self):
+        light = AmbientLight(base_lux=50.0, drift_lux=0.0)
+        assert np.allclose(light.sample(np.linspace(0, 10, 5)), 50.0)
+
+    def test_drift_bounded(self):
+        light = AmbientLight(base_lux=50.0, drift_lux=3.0, rng=np.random.default_rng(0))
+        samples = light.sample(np.linspace(0, 60, 600))
+        assert samples.min() >= 47.0 - 1e-9
+        assert samples.max() <= 53.0 + 1e-9
+
+    def test_events_appear_at_positive_rate(self):
+        light = AmbientLight(
+            base_lux=50.0,
+            drift_lux=0.0,
+            event_rate_hz=0.5,
+            rng=np.random.default_rng(1),
+        )
+        light.sample(np.linspace(0, 100, 10))
+        assert len(light.events) > 10
+
+    def test_events_require_rng(self):
+        with pytest.raises(ValueError):
+            AmbientLight(event_rate_hz=0.1)
+
+    def test_never_negative(self):
+        light = AmbientLight(
+            base_lux=5.0,
+            drift_lux=0.0,
+            event_rate_hz=1.0,
+            event_lux_range=(20.0, 40.0),
+            rng=np.random.default_rng(2),
+        )
+        samples = light.sample(np.linspace(0, 60, 600))
+        assert samples.min() >= 0.0
+
+    def test_event_horizon_extends_lazily(self):
+        light = AmbientLight(
+            base_lux=50.0, event_rate_hz=0.5, rng=np.random.default_rng(3)
+        )
+        light.sample_scalar(10.0)
+        early = len(light.events)
+        light.sample_scalar(100.0)
+        assert len(light.events) > early
+
+    def test_deterministic_given_seed(self):
+        def build():
+            return AmbientLight(
+                base_lux=50.0, event_rate_hz=0.3, rng=np.random.default_rng(9)
+            )
+
+        t = np.linspace(0, 50, 100)
+        assert np.allclose(build().sample(t), build().sample(t))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            AmbientLight().sample(-1.0)

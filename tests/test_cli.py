@@ -1,0 +1,54 @@
+"""CLI: parser wiring, info/demo/verify behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.enroll == 12
+        assert args.seed == 0
+
+    def test_verify_roles(self):
+        for role in ("genuine", "attack", "replay", "adaptive"):
+            args = build_parser().parse_args(["verify", "--role", role])
+            assert args.role == role
+
+    def test_verify_rejects_unknown_role(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--role", "martian"])
+
+    def test_figures_options(self):
+        args = build_parser().parse_args(["figures", "--out", "x", "--only", "fig11"])
+        assert args.out == "x"
+        assert args.only == ["fig11"]
+
+
+class TestInfo:
+    def test_info_prints_paper_constants(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "lof_threshold" in out
+        assert "sample_rate_hz" in out
+        assert "ICDCS 2020" in out
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_verify_genuine_exit_zero(self):
+        assert main(["verify", "--role", "genuine", "--enroll", "10", "--seed", "3"]) == 0
+
+    def test_verify_attack_exit_one(self):
+        assert main(["verify", "--role", "attack", "--enroll", "10", "--seed", "3"]) == 1
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--enroll", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "ATTACKER" in out
+        assert "live person" in out

@@ -1,0 +1,58 @@
+"""Frame container."""
+
+import numpy as np
+import pytest
+
+from repro.video.frame import Frame, blank_frame
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        frame = blank_frame(12, 20, value=5.0)
+        assert frame.height == 12
+        assert frame.width == 20
+        assert frame.shape == (12, 20)
+
+    def test_pixels_coerced_to_float(self):
+        frame = Frame(pixels=np.zeros((4, 4, 3), dtype=np.uint8), timestamp=0.0)
+        assert frame.pixels.dtype == np.float64
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Frame(pixels=np.zeros((4, 4)), timestamp=0.0)
+        with pytest.raises(ValueError):
+            Frame(pixels=np.zeros((4, 4, 4)), timestamp=0.0)
+
+    def test_blank_frame_validation(self):
+        with pytest.raises(ValueError):
+            blank_frame(0, 5)
+
+
+class TestOperations:
+    def test_copy_is_deep(self):
+        frame = blank_frame(4, 4, value=1.0)
+        frame.metadata["k"] = 1
+        dup = frame.copy()
+        dup.pixels[0, 0, 0] = 99.0
+        dup.metadata["k"] = 2
+        assert frame.pixels[0, 0, 0] == 1.0
+        assert frame.metadata["k"] == 1
+
+    def test_clipped(self):
+        frame = blank_frame(2, 2)
+        frame.pixels[0, 0] = [-5.0, 300.0, 100.0]
+        clipped = frame.clipped()
+        assert list(clipped.pixels[0, 0]) == [0.0, 255.0, 100.0]
+        # Original untouched.
+        assert frame.pixels[0, 0, 0] == -5.0
+
+    def test_quantized_rounds(self):
+        frame = blank_frame(2, 2, value=10.4)
+        assert np.allclose(frame.quantized().pixels, 10.0)
+
+    def test_mean_rgb(self):
+        frame = blank_frame(2, 2)
+        frame.pixels[:, :, 0] = 10.0
+        frame.pixels[:, :, 1] = 20.0
+        frame.pixels[:, :, 2] = 30.0
+        assert list(frame.mean_rgb()) == [10.0, 20.0, 30.0]

@@ -1,0 +1,80 @@
+"""FaceModel and the canonical landmark layout."""
+
+import numpy as np
+import pytest
+
+from repro.vision.face_model import LANDMARK_LAYOUT, SKIN_TONES, FaceModel, make_face
+
+
+class TestLayout:
+    def test_bridge_has_four_points(self):
+        assert len(LANDMARK_LAYOUT["nasal_bridge"]) == 4
+
+    def test_tip_has_five_points(self):
+        assert len(LANDMARK_LAYOUT["nasal_tip"]) == 5
+
+    def test_bridge_descends_toward_tip(self):
+        bridge_vs = [v for _, v in LANDMARK_LAYOUT["nasal_bridge"]]
+        assert bridge_vs == sorted(bridge_vs)
+        assert bridge_vs[-1] < LANDMARK_LAYOUT["nasal_tip"][2][1]
+
+    def test_all_landmarks_inside_face_ellipse(self):
+        for points in LANDMARK_LAYOUT.values():
+            for u, v in points:
+                assert u * u + v * v <= 1.0
+
+
+class TestSkinTones:
+    def test_tones_are_red_dominant(self):
+        for rgb in SKIN_TONES.values():
+            r, g, b = rgb
+            assert r > g > b
+
+    def test_tone_ladder_descends_in_reflectance(self):
+        order = ["light", "tan", "medium", "brown", "dark"]
+        means = [np.mean(SKIN_TONES[t]) for t in order]
+        assert means == sorted(means, reverse=True)
+
+
+class TestFaceModel:
+    def test_nose_reflectance_boosted_but_capped(self):
+        face = make_face("x", tone="light")
+        assert (face.nose_reflectance >= face.skin_reflectance).all()
+        assert (face.nose_reflectance <= 0.98).all()
+
+    def test_invalid_reflectance_rejected(self):
+        with pytest.raises(ValueError):
+            FaceModel(name="bad", skin_reflectance=np.array([1.2, 0.5, 0.4]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            FaceModel(name="bad", skin_reflectance=np.array([0.5, 0.4]))
+
+    def test_hair_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            FaceModel(
+                name="bad",
+                skin_reflectance=np.array([0.5, 0.4, 0.3]),
+                hair_fraction=0.6,
+            )
+
+
+class TestMakeFace:
+    def test_unknown_tone_rejected(self):
+        with pytest.raises(ValueError):
+            make_face("x", tone="plaid")
+
+    def test_deterministic_given_rng_seed(self):
+        a = make_face("x", tone="dark", rng=np.random.default_rng(5))
+        b = make_face("x", tone="dark", rng=np.random.default_rng(5))
+        assert np.allclose(a.skin_reflectance, b.skin_reflectance)
+        assert a.face_aspect == b.face_aspect
+
+    def test_perturbation_stays_valid(self):
+        for seed in range(20):
+            face = make_face("x", tone="dark", rng=np.random.default_rng(seed))
+            assert (face.skin_reflectance > 0).all()
+            assert (face.skin_reflectance < 1).all()
+
+    def test_glasses_flag_propagates(self):
+        assert make_face("x", has_glasses=True).has_glasses
