@@ -7,24 +7,42 @@ the experiment (datasets are simulated once and cached under
 reports.  Timings are recorded via pytest-benchmark.
 
 First run generates ~2500 simulated chat clips (~25 minutes on one core);
-subsequent runs load everything from the dataset cache.
+subsequent runs load everything from the dataset cache.  Set
+``REPRO_BENCH_JOBS=N`` to simulate and evaluate over N worker processes —
+results are bit-identical at any job count.  ``pytest benchmarks -m smoke``
+runs only the fast deterministic subset (no full-scale simulation).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.engine import ExecutionEngine
 from repro.experiments.dataset import build_dataset
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture(scope="session")
-def main_dataset():
+def engine():
+    """Session-wide execution engine shared by every benchmark.
+
+    Job count comes from ``REPRO_BENCH_JOBS`` (default 1, i.e. serial);
+    the feature cache persists across benchmarks so sweeps that revisit
+    the same clips pay extraction once.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    with ExecutionEngine(jobs=jobs) as eng:
+        yield eng
+
+
+@pytest.fixture(scope="session")
+def main_dataset(engine):
     """The paper's headline dataset: 10 users x 2 roles x 40 clips."""
-    return build_dataset(clips_per_role=40)
+    return build_dataset(clips_per_role=40, engine=engine)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,104 @@
+"""Engine scaling: jobs=4 must match serial bit-for-bit, and beat it.
+
+This is the fast deterministic benchmark (``-m smoke``): it builds a
+synthetic feature bank in seconds instead of simulating the full
+dataset, runs the headline experiments through ``ExecutionEngine`` at
+jobs=1 and jobs=4 with cold caches, and asserts
+
+* numerical identity — parallel == serial == no engine at all, exactly;
+* speedup — >= 2x with four workers, asserted only on machines with at
+  least four cores (on smaller hosts the ratio is reported, not
+  enforced: a process pool cannot beat serial without the hardware).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.features import extract_features
+from repro.engine import ExecutionEngine
+from repro.experiments.dataset import ATTACK, GENUINE, ClipInstance, FeatureDataset
+from repro.experiments.runner import run_overall, run_threshold_sweep
+
+from .conftest import run_once
+
+ROUNDS = 8
+TRAIN_SIZE = 15
+
+
+def _smoke_dataset(users=8, genuine=26, attack=12):
+    """Synthetic bank whose features are real extractions of its signals."""
+    rng = np.random.default_rng(7)
+    config = DetectorConfig()
+    instances = []
+    for u in range(users):
+        name = f"user_{u}"
+        for role, count in ((GENUINE, genuine), (ATTACK, attack)):
+            for i in range(count):
+                t = np.full(150, 180.0)
+                a = int(rng.integers(30, 60))
+                t[a:] -= 50.0
+                t[a + int(rng.integers(45, 60)) :] += 40.0
+                if role == GENUINE:
+                    delayed = np.concatenate([np.full(4, t[0]), t[:-4]])
+                    r = 120.0 + 0.3 * delayed + rng.normal(0, 0.3, 150)
+                else:
+                    r = 120.0 + rng.normal(0, 2.0, 150)
+                features = extract_features(t, r, config).features
+                instances.append(ClipInstance(name, role, i, features, t, r))
+    return FeatureDataset(instances)
+
+
+def _run_experiments(dataset, engine):
+    overall = run_overall(dataset, rounds=ROUNDS, train_size=TRAIN_SIZE, engine=engine)
+    sweep = run_threshold_sweep(
+        dataset, rounds=ROUNDS, train_size=TRAIN_SIZE, engine=engine
+    )
+    return overall, sweep
+
+
+@pytest.mark.smoke
+def test_engine_scaling(report, benchmark):
+    dataset = _smoke_dataset()
+
+    # Ground truth: the engine-less serial protocol.
+    plain = _run_experiments(dataset, engine=None)
+
+    t0 = time.perf_counter()
+    with ExecutionEngine(jobs=1) as engine:
+        serial = _run_experiments(dataset, engine)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_run():
+        t0 = time.perf_counter()
+        with ExecutionEngine(jobs=4) as engine:
+            results = _run_experiments(dataset, engine)
+        return results, time.perf_counter() - t0
+
+    parallel, parallel_s = run_once(benchmark, parallel_run)
+
+    # Bit-identical at every job count — and with no engine at all.
+    assert serial[0] == plain[0] == parallel[0]
+    for a, b in ((serial[1], plain[1]), (serial[1], parallel[1])):
+        assert np.array_equal(a.far, b.far)
+        assert np.array_equal(a.frr, b.frr)
+        assert a.eer == b.eer
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    report(
+        "engine_scaling",
+        [
+            "Engine scaling (run_overall + run_threshold_sweep, cold caches)",
+            f"cores={cores}",
+            f"jobs=1: {serial_s:.2f}s",
+            f"jobs=4: {parallel_s:.2f}s",
+            f"speedup: {speedup:.2f}x",
+            "results: bit-identical across jobs=1 / jobs=4 / engine-less",
+        ],
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, f"expected >=2x with 4 workers, got {speedup:.2f}x"

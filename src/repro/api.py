@@ -1,0 +1,56 @@
+"""The blessed public surface of the reproduction.
+
+Everything an application (or the CLI, or the README examples) should
+import lives here, re-exported from the subsystem that owns it:
+
+* verification — :class:`ChatVerifier` (batch), :class:`StreamingVerifier`
+  (live call), both returning :class:`VerificationReport`;
+* the deployable classifier — :class:`LivenessDetector` and its
+  :class:`DetectionResult`;
+* configuration — :class:`DetectorConfig` (validated copies via
+  :meth:`~repro.core.config.DetectorConfig.with_overrides`) and the
+  paper's exact :data:`PAPER_CONFIG`;
+* the execution engine — :class:`ExecutionEngine`, :class:`FeatureCache`
+  and the printable :class:`PerfReport`;
+* session simulation — the ``simulate_*`` entry points the examples use.
+
+Importing from submodule paths keeps working, but only the names listed
+here are covered by the compatibility promise.
+"""
+
+from .core.config import PAPER_CONFIG, DetectorConfig
+from .core.detector import DetectionResult, LivenessDetector
+from .core.features import FeatureVector, extract_features
+from .core.pipeline import ChatVerifier, VerificationReport
+from .core.streaming import CallStatus, StreamingState, StreamingVerifier
+from .core.voting import Verdict, VotingCombiner
+from .engine import ExecutionEngine, FeatureCache, PerfReport
+from .experiments.simulate import (
+    simulate_adaptive_attack_session,
+    simulate_attack_session,
+    simulate_genuine_session,
+    simulate_replay_attack_session,
+)
+
+__all__ = [
+    "CallStatus",
+    "ChatVerifier",
+    "DetectionResult",
+    "DetectorConfig",
+    "ExecutionEngine",
+    "FeatureCache",
+    "FeatureVector",
+    "LivenessDetector",
+    "PAPER_CONFIG",
+    "PerfReport",
+    "StreamingState",
+    "StreamingVerifier",
+    "Verdict",
+    "VerificationReport",
+    "VotingCombiner",
+    "extract_features",
+    "simulate_adaptive_attack_session",
+    "simulate_attack_session",
+    "simulate_genuine_session",
+    "simulate_replay_attack_session",
+]

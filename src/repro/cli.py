@@ -19,9 +19,10 @@ import dataclasses
 import sys
 from collections.abc import Sequence
 
-from .core.config import PAPER_CONFIG
-from .core.pipeline import ChatVerifier
-from .experiments.simulate import (
+from .api import (
+    PAPER_CONFIG,
+    ChatVerifier,
+    ExecutionEngine,
     simulate_adaptive_attack_session,
     simulate_attack_session,
     simulate_genuine_session,
@@ -100,7 +101,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate paper figures (thin wrapper over experiments.figures)."""
     from .experiments.figures import generate_all
 
-    generate_all(args.out, only=args.only or None)
+    with ExecutionEngine(jobs=args.jobs) as engine:
+        generate_all(args.out, only=args.only or None, engine=engine)
+        if args.perf:
+            print()
+            print(engine.perf_report())
     return 0
 
 
@@ -145,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("--out", default="results")
     figures.add_argument("--only", nargs="*")
+    figures.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the execution engine (1 = serial; "
+        "results are identical at any job count)",
+    )
+    figures.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the engine's PerfReport (per-stage wall time, cache "
+        "hits/misses, tasks/sec) after the figures",
+    )
     figures.set_defaults(func=cmd_figures)
 
     info = sub.add_parser("info", help=cmd_info.__doc__)

@@ -7,7 +7,7 @@ from .detector import DetectionResult, LivenessDetector
 from .diagnostics import ClipDiagnostics, ClipIssue, diagnose_clip, reflection_snr
 from .features import FeatureExtraction, FeatureVector, extract_features
 from .lof import LocalOutlierFactor
-from .pipeline import ChatVerifier, DiagnosedVerdict, SessionVerdict
+from .pipeline import ChatVerifier, DiagnosedVerdict, SessionVerdict, VerificationReport
 from .streaming import CallStatus, StreamingState, StreamingVerifier
 from .voting import Verdict, VotingCombiner
 
@@ -33,6 +33,7 @@ __all__ = [
     "ChatVerifier",
     "DiagnosedVerdict",
     "SessionVerdict",
+    "VerificationReport",
     "CallStatus",
     "StreamingState",
     "StreamingVerifier",

@@ -152,9 +152,26 @@ class DetectorConfig:
         """Number of luminance samples in one detection clip."""
         return int(round(self.clip_duration_s * self.sample_rate_hz))
 
+    def with_overrides(self, **overrides: object) -> "DetectorConfig":
+        """Return a validated copy with the given fields changed.
+
+        This is the blessed way to derive sweep/ablation configs: unknown
+        field names fail loudly (instead of ``dataclasses.replace``'s
+        bare ``TypeError``) and the copy re-runs every ``__post_init__``
+        check, so an invalid sweep point cannot reach the pipeline.
+        """
+        valid = {field.name for field in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown DetectorConfig field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
     def replace(self, **changes: object) -> "DetectorConfig":
-        """Return a copy with the given fields changed (sweep helper)."""
-        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+        """Deprecated alias of :meth:`with_overrides`."""
+        return self.with_overrides(**changes)
 
 
 #: The exact configuration evaluated in the paper.

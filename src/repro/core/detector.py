@@ -98,6 +98,17 @@ class LivenessDetector:
             raise RuntimeError("detector is not trained; call fit() first")
         return self._model.score(features.as_array())
 
+    def score_samples(self, features: np.ndarray) -> np.ndarray:
+        """Raw LOF scores of a feature matrix ``(n, 4)``.
+
+        The experiment runners score whole test splits through this, so
+        protocol rounds and deployed verification share one model and
+        one threshold semantics.
+        """
+        if not self.is_trained:
+            raise RuntimeError("detector is not trained; call fit() first")
+        return self._model.score_samples(np.asarray(features, dtype=np.float64))
+
     def verify_features(
         self,
         features: FeatureVector,

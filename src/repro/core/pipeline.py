@@ -29,33 +29,25 @@ from .features import FeatureVector, extract_features
 from .luminance import received_luminance_signal, transmitted_luminance_signal
 from .voting import Verdict, VotingCombiner
 
-__all__ = ["SessionVerdict", "DiagnosedVerdict", "ChatVerifier"]
+__all__ = ["VerificationReport", "SessionVerdict", "DiagnosedVerdict", "ChatVerifier"]
 
 
 @dataclasses.dataclass(frozen=True)
-class SessionVerdict:
-    """Verdict plus the per-clip evidence behind it."""
-
-    verdict: Verdict
-    attempts: tuple[DetectionResult, ...]
-
-    @property
-    def is_attacker(self) -> bool:
-        return self.verdict.is_attacker
-
-
-@dataclasses.dataclass(frozen=True)
-class DiagnosedVerdict:
-    """A verdict that distinguishes *inconclusive* evidence.
+class VerificationReport:
+    """The one result shape every verifier returns: verdict, per-clip
+    attempts, and (when the caller asked for evidence grading) the
+    per-clip diagnostics.
 
     ``verdict`` is ``None`` when no clip carried enough evidence to
     support any decision (e.g. the verifier never challenged) — the
     honest answer a deployed system should surface instead of guessing.
+    Plain :meth:`ChatVerifier.verify_session` always produces a verdict;
+    the diagnosed path may not.
     """
 
     verdict: Verdict | None
     attempts: tuple[DetectionResult, ...]
-    diagnostics: tuple[ClipDiagnostics, ...]
+    diagnostics: tuple[ClipDiagnostics, ...] | None = None
 
     @property
     def is_attacker(self) -> bool:
@@ -68,7 +60,17 @@ class DiagnosedVerdict:
 
     @property
     def inconclusive_clips(self) -> int:
+        """Clips whose evidence was graded and found inconclusive (0
+        when diagnostics were not collected)."""
+        if self.diagnostics is None:
+            return 0
         return sum(1 for d in self.diagnostics if not d.conclusive)
+
+
+#: Deprecated aliases — both batch shapes were unified into
+#: :class:`VerificationReport`; import that instead.
+SessionVerdict = VerificationReport
+DiagnosedVerdict = VerificationReport
 
 
 class ChatVerifier:
@@ -152,7 +154,7 @@ class ChatVerifier:
     def verify_session(
         self,
         record: SessionRecord,
-    ) -> SessionVerdict:
+    ) -> VerificationReport:
         """Segment a session into clips, verify each, majority-vote."""
         attempts = [
             self.verify_clip(t_clip, r_clip)
@@ -164,13 +166,13 @@ class ChatVerifier:
                 f"({self.config.clip_duration_s}s)"
             )
         verdict = self.combiner.combine(attempts)
-        return SessionVerdict(verdict=verdict, attempts=tuple(attempts))
+        return VerificationReport(verdict=verdict, attempts=tuple(attempts))
 
     def verify_session_diagnosed(
         self,
         record: SessionRecord,
         min_challenges: int = 1,
-    ) -> DiagnosedVerdict:
+    ) -> VerificationReport:
         """Like :meth:`verify_session`, but grade each clip's evidence
         first and vote only over *conclusive* clips.
 
@@ -195,7 +197,7 @@ class ChatVerifier:
                 f"({self.config.clip_duration_s}s)"
             )
         verdict = self.combiner.combine(attempts) if attempts else None
-        return DiagnosedVerdict(
+        return VerificationReport(
             verdict=verdict,
             attempts=tuple(attempts),
             diagnostics=tuple(diagnostics),

@@ -32,6 +32,7 @@ from ..vision.landmarks import LandmarkDetector
 from .config import DetectorConfig
 from .detector import DetectionResult, LivenessDetector
 from .luminance import roi_mean_luminance
+from .pipeline import VerificationReport
 from .roi import nasal_bridge_roi
 from .voting import Verdict, VotingCombiner
 
@@ -59,6 +60,11 @@ class StreamingState:
     @property
     def attempt_count(self) -> int:
         return len(self.attempts)
+
+    @property
+    def report(self) -> VerificationReport:
+        """The snapshot as the same shape the batch verifier returns."""
+        return VerificationReport(verdict=self.verdict, attempts=self.attempts)
 
 
 class StreamingVerifier:

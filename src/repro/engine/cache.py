@@ -1,0 +1,106 @@
+"""Content-addressed memoization of feature extraction.
+
+The 7-stage preprocessing chain plus the z1..z4 feature computation is
+the per-clip hot path of every experiment; sweeps that reuse clips
+(decision threshold, voting attempts, training-set size) re-run it on
+byte-identical inputs.  :class:`FeatureCache` keys each extraction by a
+SHA-256 over the two raw luminance signals *and* a fingerprint of every
+:class:`~repro.core.config.DetectorConfig` field, so
+
+* the same clip under the same config is extracted exactly once, and
+* any config change (an ablation, a sampling-rate sweep) automatically
+  misses — there is no version flag to forget to bump.
+
+Only the final :class:`~repro.core.features.FeatureVector` is stored
+(4 floats per clip), not the intermediate signals, so the cache stays
+small enough to keep every clip of a full evaluation resident.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.features import FeatureVector
+
+__all__ = ["FeatureCache", "config_fingerprint", "clip_signal_hash"]
+
+
+def config_fingerprint(config: DetectorConfig) -> str:
+    """Stable digest over every config field (sweep-proof cache key part)."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def clip_signal_hash(
+    transmitted_luminance: np.ndarray, received_luminance: np.ndarray
+) -> str:
+    """Content hash of one clip's raw luminance pair."""
+    t = np.ascontiguousarray(transmitted_luminance, dtype=np.float64)
+    r = np.ascontiguousarray(received_luminance, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(str(t.shape).encode())
+    digest.update(t.tobytes())
+    digest.update(str(r.shape).encode())
+    digest.update(r.tobytes())
+    return digest.hexdigest()[:32]
+
+
+class FeatureCache:
+    """In-memory content-addressed store of extracted feature vectors.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound; when exceeded the oldest entries are evicted
+        (insertion order — the access pattern of sweeps is "extract the
+        whole dataset, then reuse it", so FIFO loses nothing).  ``None``
+        keeps everything.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self._store: dict[str, FeatureVector] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def key_for(
+        transmitted_luminance: np.ndarray,
+        received_luminance: np.ndarray,
+        config: DetectorConfig,
+    ) -> str:
+        return (
+            clip_signal_hash(transmitted_luminance, received_luminance)
+            + ":"
+            + config_fingerprint(config)
+        )
+
+    def get(self, key: str) -> FeatureVector | None:
+        """Look up by key, counting the hit or miss."""
+        found = self._store.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: str, features: FeatureVector) -> None:
+        if self.max_entries is not None and key not in self._store:
+            while len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))
+        self._store[key] = features
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,224 @@
+"""Parallel, cached, instrumented execution of the experiment protocol.
+
+:class:`ExecutionEngine` is the one object the evaluation harness talks
+to.  It provides three guarantees:
+
+**Determinism.**  Work is submitted as an ordered list of self-contained
+tasks, each carrying its own seed material (see :func:`task_rng`), and
+results come back in submission order.  Nothing about the outcome
+depends on how many workers ran or how the OS scheduled them, so
+``jobs=4`` is bit-identical to ``jobs=1`` — and to running the same
+tasks without any engine at all.
+
+**Memoization.**  Feature extraction — the per-clip hot path — is
+routed through a content-addressed :class:`~repro.engine.cache.FeatureCache`
+keyed by the raw signal bytes plus the full
+:class:`~repro.core.config.DetectorConfig` fingerprint.  Sweeps that
+revisit clips (threshold, attempts, training size, forgery delay at
+zero shift) stop re-running the preprocessing chain.
+
+**Measurement.**  Every stage executed under the engine is timed, cache
+traffic is counted, and :meth:`perf_report` returns a printable
+:class:`~repro.engine.perf.PerfReport` (the CLI's ``--perf`` flag).
+
+Workers are plain ``concurrent.futures`` processes; task functions must
+be module-level (picklable).  The pool is created lazily on the first
+parallel ``map`` and torn down by :meth:`close` (or the context
+manager), so a serial engine never pays for a pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import AbstractContextManager
+from typing import Any, TypeVar
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.features import FeatureVector, extract_features
+from .cache import FeatureCache
+from .perf import PerfRecorder, PerfReport
+
+__all__ = ["ExecutionEngine", "task_rng"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def task_rng(*key: int) -> np.random.Generator:
+    """Deterministic per-task random generator.
+
+    Each protocol task (one user's rounds, one sweep point, ...) derives
+    its generator from the experiment seed plus its own coordinates, so
+    the stream a task sees is a pure function of *what* the task is, not
+    of *when or where* it runs.  This is what makes parallel execution
+    bit-identical to serial.
+    """
+    return np.random.default_rng(list(key))
+
+
+def _extract_one(payload: tuple[np.ndarray, np.ndarray, DetectorConfig]) -> FeatureVector:
+    """Worker-side feature extraction (module-level for pickling)."""
+    t_lum, r_lum, config = payload
+    return extract_features(t_lum, r_lum, config).features
+
+
+class ExecutionEngine(AbstractContextManager):
+    """Maps protocol tasks over a process pool, with caching and perf.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) executes in-process with
+        no pool; results are identical either way.
+    cache:
+        Shared :class:`FeatureCache`; a private one is created when not
+        given.  Pass one engine (or one cache) across several runners to
+        let sweeps reuse each other's extractions.
+    max_cache_entries:
+        Bound for the private cache (ignored when ``cache`` is given).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: FeatureCache | None = None,
+        max_cache_entries: int | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else FeatureCache(max_cache_entries)
+        self._recorder = PerfRecorder()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Task mapping
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        tasks: Sequence[_T],
+        stage: str = "map",
+        chunksize: int | None = None,
+    ) -> list[_R]:
+        """Apply ``fn`` to every task, in order, serially or on the pool.
+
+        ``fn`` must be a module-level callable and each task must carry
+        everything it needs (including its seed) — the engine does not
+        smuggle state into workers.
+        """
+        tasks = list(tasks)
+        with self._recorder.stage(stage, tasks=len(tasks)):
+            if self.jobs == 1 or len(tasks) <= 1:
+                return [fn(task) for task in tasks]
+            if chunksize is None:
+                # Amortize pickling without starving workers of chunks.
+                chunksize = max(1, len(tasks) // (self.jobs * 8))
+            return list(self._ensure_pool().map(fn, tasks, chunksize=chunksize))
+
+    def stage(self, name: str, tasks: int = 0):
+        """Context manager timing an in-process stage (e.g. aggregation)."""
+        return self._recorder.stage(name, tasks=tasks)
+
+    # ------------------------------------------------------------------
+    # Cached feature extraction
+    # ------------------------------------------------------------------
+
+    def extract_features_cached(
+        self,
+        transmitted_luminance: np.ndarray,
+        received_luminance: np.ndarray,
+        config: DetectorConfig,
+    ) -> FeatureVector:
+        """One clip's features, via the content-addressed cache."""
+        return self.extract_features_batch(
+            [(transmitted_luminance, received_luminance)], config
+        )[0]
+
+    def extract_features_batch(
+        self,
+        pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+        config: DetectorConfig,
+        stage: str = "features",
+    ) -> list[FeatureVector]:
+        """Features for many clips: cache lookups first, then one
+        parallel map over the misses only.
+
+        Duplicate pairs within one batch are extracted once.
+        """
+        keys = [self.cache.key_for(t, r, config) for t, r in pairs]
+        with self._recorder.stage(stage, tasks=len(pairs)):
+            found: dict[str, FeatureVector] = {}
+            pending: set[str] = set()
+            miss_keys: list[str] = []
+            miss_payloads: list[tuple[np.ndarray, np.ndarray, DetectorConfig]] = []
+            for key, (t, r) in zip(keys, pairs):
+                if key in found or key in pending:  # duplicate within this batch
+                    self.cache.hits += 1
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    found[key] = cached
+                else:
+                    pending.add(key)
+                    miss_keys.append(key)
+                    miss_payloads.append((t, r, config))
+            if miss_payloads:
+                if self.jobs == 1 or len(miss_payloads) <= 1:
+                    extracted = [_extract_one(p) for p in miss_payloads]
+                else:
+                    chunksize = max(1, len(miss_payloads) // (self.jobs * 8))
+                    extracted = list(
+                        self._ensure_pool().map(
+                            _extract_one, miss_payloads, chunksize=chunksize
+                        )
+                    )
+                for key, features in zip(miss_keys, extracted):
+                    self.cache.put(key, features)
+                    found[key] = features
+        return [found[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+
+    def perf_report(self) -> PerfReport:
+        """Snapshot of all stages, cache traffic, and throughput."""
+        return self._recorder.snapshot(
+            jobs=self.jobs,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+        )
+
+    def reset_perf(self) -> None:
+        """Zero the timers and counters (cache contents are kept)."""
+        self._recorder.reset()
+        self.cache.hits = 0
+        self.cache.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionEngine(jobs={self.jobs}, cache_entries={len(self.cache)}, "
+            f"hits={self.cache.hits}, misses={self.cache.misses})"
+        )

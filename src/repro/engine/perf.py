@@ -1,0 +1,144 @@
+"""Per-stage performance counters for the execution engine.
+
+The engine's promise is "as fast as the hardware allows, and
+measurable": every pipeline stage that runs under the engine (dataset
+simulation, feature extraction, protocol rounds, aggregation) is timed,
+cache traffic is counted, and the whole picture is exportable as one
+frozen :class:`PerfReport` that the CLI can print after a run.
+
+The mutable side lives in :class:`PerfRecorder` (owned by the engine);
+the immutable snapshot handed to callers is :class:`PerfReport`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from collections.abc import Iterator
+
+__all__ = ["StagePerf", "PerfReport", "PerfRecorder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePerf:
+    """Aggregate timing of one named pipeline stage."""
+
+    name: str
+    calls: int
+    wall_s: float
+    tasks: int
+
+    @property
+    def tasks_per_sec(self) -> float:
+        return self.tasks / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfReport:
+    """Immutable snapshot of an engine run, printable from the CLI."""
+
+    jobs: int
+    wall_s: float
+    stages: tuple[StagePerf, ...]
+    cache_hits: int
+    cache_misses: int
+    tasks_completed: int
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def tasks_per_sec(self) -> float:
+        return self.tasks_completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def lines(self) -> list[str]:
+        """The report as printable rows (one per stage plus totals)."""
+        out = [
+            f"PerfReport (jobs={self.jobs})",
+            f"{'stage':>12s} {'calls':>7s} {'tasks':>7s} {'wall_s':>9s} {'tasks/s':>9s}",
+        ]
+        for stage in self.stages:
+            rate = stage.tasks_per_sec
+            rate_text = f"{rate:9.1f}" if rate != float("inf") else "      inf"
+            out.append(
+                f"{stage.name:>12s} {stage.calls:7d} {stage.tasks:7d} "
+                f"{stage.wall_s:9.3f} {rate_text}"
+            )
+        out.append(
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%} hit rate)"
+        )
+        out.append(
+            f"total: {self.tasks_completed} tasks in {self.wall_s:.3f}s "
+            f"({self.tasks_per_sec:.1f} tasks/s)"
+        )
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+class _StageCounters:
+    __slots__ = ("calls", "wall_s", "tasks")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.wall_s = 0.0
+        self.tasks = 0
+
+
+class PerfRecorder:
+    """Mutable counters behind :class:`PerfReport`.
+
+    Stage order is preserved (first time a stage reports, it gets a row),
+    so reports read in pipeline order.
+    """
+
+    def __init__(self) -> None:
+        self._stages: dict[str, _StageCounters] = {}
+        self._started = time.perf_counter()
+        self._tasks_completed = 0
+
+    def reset(self) -> None:
+        self._stages.clear()
+        self._started = time.perf_counter()
+        self._tasks_completed = 0
+
+    @contextlib.contextmanager
+    def stage(self, name: str, tasks: int = 0) -> Iterator[None]:
+        """Time one call of the named stage; ``tasks`` counts work items."""
+        counters = self._stages.setdefault(name, _StageCounters())
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            counters.calls += 1
+            counters.wall_s += time.perf_counter() - t0
+            counters.tasks += tasks
+            self._tasks_completed += tasks
+
+    def add_tasks(self, name: str, tasks: int) -> None:
+        """Count extra work items against an (already timed) stage."""
+        counters = self._stages.setdefault(name, _StageCounters())
+        counters.tasks += tasks
+        self._tasks_completed += tasks
+
+    def snapshot(self, jobs: int, cache_hits: int, cache_misses: int) -> PerfReport:
+        return PerfReport(
+            jobs=jobs,
+            wall_s=time.perf_counter() - self._started,
+            stages=tuple(
+                StagePerf(name=name, calls=c.calls, wall_s=c.wall_s, tasks=c.tasks)
+                for name, c in self._stages.items()
+            ),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            tasks_completed=self._tasks_completed,
+        )

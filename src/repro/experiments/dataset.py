@@ -21,8 +21,12 @@ import hashlib
 import json
 import pathlib
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..engine import ExecutionEngine
 
 from ..core.config import DetectorConfig
 from ..core.features import FeatureVector, extract_features
@@ -138,6 +142,13 @@ def _clip_seed(base_seed: int, user_index: int, role: str, clip_index: int) -> i
     return int.from_bytes(digest[:4], "little")
 
 
+def _generate_clip_task(
+    payload: tuple[UserProfile, int, str, int, Environment, DetectorConfig, int],
+) -> ClipInstance:
+    """Engine task wrapper: one payload tuple -> one simulated clip."""
+    return _generate_clip(*payload)
+
+
 def _generate_clip(
     user: UserProfile,
     user_index: int,
@@ -248,10 +259,16 @@ def build_dataset(
     cache_dir: pathlib.Path | str | None = None,
     use_cache: bool = True,
     progress: bool = False,
+    engine: "ExecutionEngine | None" = None,
 ) -> FeatureDataset:
     """Simulate (or load from cache) a full evaluation dataset.
 
     Defaults mirror the paper: ten users, two roles, 40 clips each.
+
+    ``engine`` (an :class:`~repro.engine.ExecutionEngine`) parallelizes
+    the simulation across its process pool.  Every clip's seed is a pure
+    function of ``(base_seed, user, role, clip index)``, so the parallel
+    dataset is bit-identical to the serial one.
     """
     population = list(population) if population is not None else make_population()
     env = env or DEFAULT_ENVIRONMENT
@@ -267,20 +284,20 @@ def build_dataset(
         if cache_path.exists():
             return _load(cache_path)
 
-    instances: list[ClipInstance] = []
-    total = len(population) * len(roles) * clips_per_role
-    done = 0
-    for user_index, user in enumerate(population):
-        for role in roles:
-            for clip_index in range(clips_per_role):
-                instances.append(
-                    _generate_clip(
-                        user, user_index, role, clip_index, env, config, base_seed
-                    )
-                )
-                done += 1
-                if progress and done % 50 == 0:
-                    print(f"  dataset: {done}/{total} clips", flush=True)
+    tasks = [
+        (user, user_index, role, clip_index, env, config, base_seed)
+        for user_index, user in enumerate(population)
+        for role in roles
+        for clip_index in range(clips_per_role)
+    ]
+    if engine is not None:
+        instances = engine.map(_generate_clip_task, tasks, stage="simulate")
+    else:
+        instances = []
+        for done, task in enumerate(tasks, start=1):
+            instances.append(_generate_clip_task(task))
+            if progress and done % 50 == 0:
+                print(f"  dataset: {done}/{len(tasks)} clips", flush=True)
     dataset = FeatureDataset(instances)
     if cache_path is not None:
         _save(cache_path, dataset)

@@ -21,6 +21,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from ..engine import ExecutionEngine
 from .dataset import FeatureDataset, build_dataset
 from .profiles import DEFAULT_ENVIRONMENT
 from .runner import (
@@ -47,14 +48,17 @@ __all__ = [
 ]
 
 
-def _main_dataset() -> FeatureDataset:
-    return build_dataset(clips_per_role=40)
+def _main_dataset(engine: ExecutionEngine | None = None) -> FeatureDataset:
+    return build_dataset(clips_per_role=40, engine=engine)
 
 
-def figure_11_overall(dataset: FeatureDataset | None = None) -> list[str]:
+def figure_11_overall(
+    dataset: FeatureDataset | None = None,
+    engine: ExecutionEngine | None = None,
+) -> list[str]:
     """Fig. 11: per-user TAR/TRR, own vs others' training data."""
-    dataset = dataset or _main_dataset()
-    result = run_overall(dataset, rounds=20, train_size=20)
+    dataset = dataset if dataset is not None else _main_dataset(engine)
+    result = run_overall(dataset, rounds=20, train_size=20, engine=engine)
     lines = [
         "Fig. 11 single-detection performance",
         f"{'user':8s} {'TAR(own)':>10s} {'TAR(other)':>11s} {'TRR':>8s}",
@@ -70,10 +74,13 @@ def figure_11_overall(dataset: FeatureDataset | None = None) -> list[str]:
     return lines
 
 
-def figure_12_threshold(dataset: FeatureDataset | None = None) -> list[str]:
+def figure_12_threshold(
+    dataset: FeatureDataset | None = None,
+    engine: ExecutionEngine | None = None,
+) -> list[str]:
     """Fig. 12: FAR/FRR across the decision threshold, EER."""
-    dataset = dataset or _main_dataset()
-    result = run_threshold_sweep(dataset, rounds=10, train_size=20)
+    dataset = dataset if dataset is not None else _main_dataset(engine)
+    result = run_threshold_sweep(dataset, rounds=10, train_size=20, engine=engine)
     lines = ["Fig. 12 FAR/FRR vs tau", f"{'tau':>5s} {'FAR':>8s} {'FRR':>8s}"]
     for tau, far, frr in zip(result.thresholds, result.far, result.frr):
         lines.append(f"{tau:5.2f} {far:8.4f} {frr:8.4f}")
@@ -81,7 +88,7 @@ def figure_12_threshold(dataset: FeatureDataset | None = None) -> list[str]:
     return lines
 
 
-def figure_13_screen_size() -> list[str]:
+def figure_13_screen_size(engine: ExecutionEngine | None = None) -> list[str]:
     """Fig. 13: performance vs screen size (incl. the phone cases)."""
     from ..screen.display import PHONE_6_OLED, SCREEN_SIZE_LADDER
 
@@ -96,17 +103,22 @@ def figure_13_screen_size() -> list[str]:
             DEFAULT_ENVIRONMENT.replace(screen=PHONE_6_OLED, viewing_distance_m=0.1),
         )
     )
-    result = run_screen_size(screens)
+    result = run_screen_size(screens, engine=engine)
     lines = ["Fig. 13 performance vs screen size", f"{'screen':>16s} {'TAR':>8s} {'TRR':>8s}"]
     for p in result.points:
         lines.append(f"{p.label:>16s} {p.tar_mean:8.3f} {p.trr_mean:8.3f}")
     return lines
 
 
-def figure_14_attempts(dataset: FeatureDataset | None = None) -> list[str]:
+def figure_14_attempts(
+    dataset: FeatureDataset | None = None,
+    engine: ExecutionEngine | None = None,
+) -> list[str]:
     """Fig. 14: majority voting over D attempts."""
-    dataset = dataset or _main_dataset()
-    result = run_attempts(dataset, rounds=10, trials_per_round=10, train_size=20)
+    dataset = dataset if dataset is not None else _main_dataset(engine)
+    result = run_attempts(
+        dataset, rounds=10, trials_per_round=10, train_size=20, engine=engine
+    )
     lines = [
         "Fig. 14 accuracy vs attempts",
         f"{'D':>3s} {'TAR(own)':>10s} {'TAR(other)':>11s} {'TRR':>8s}",
@@ -119,10 +131,13 @@ def figure_14_attempts(dataset: FeatureDataset | None = None) -> list[str]:
     return lines
 
 
-def figure_15_training_size(dataset: FeatureDataset | None = None) -> list[str]:
+def figure_15_training_size(
+    dataset: FeatureDataset | None = None,
+    engine: ExecutionEngine | None = None,
+) -> list[str]:
     """Fig. 15: accuracy vs training-set size."""
-    dataset = dataset or _main_dataset()
-    result = run_training_size(dataset, rounds=20)
+    dataset = dataset if dataset is not None else _main_dataset(engine)
+    result = run_training_size(dataset, rounds=20, engine=engine)
     lines = [
         "Fig. 15 accuracy vs training-set size",
         f"{'n':>3s} {'TAR':>8s} {'+-':>6s} {'TRR':>8s} {'+-':>6s}",
@@ -135,28 +150,33 @@ def figure_15_training_size(dataset: FeatureDataset | None = None) -> list[str]:
     return lines
 
 
-def figure_16_sampling_rate() -> list[str]:
+def figure_16_sampling_rate(engine: ExecutionEngine | None = None) -> list[str]:
     """Fig. 16: performance vs sampling rate."""
-    result = run_sampling_rate()
+    result = run_sampling_rate(engine=engine)
     lines = ["Fig. 16 performance vs sampling rate", f"{'rate':>8s} {'TAR':>8s} {'TRR':>8s}"]
     for p in result.points:
         lines.append(f"{p.label:>8s} {p.tar_mean:8.3f} {p.trr_mean:8.3f}")
     return lines
 
 
-def figure_17_forgery_delay(dataset: FeatureDataset | None = None) -> list[str]:
+def figure_17_forgery_delay(
+    dataset: FeatureDataset | None = None,
+    engine: ExecutionEngine | None = None,
+) -> list[str]:
     """Fig. 17: rejection rate vs forgery processing delay."""
-    dataset = dataset or _main_dataset()
-    result = run_forgery_delay(dataset, rounds=3, train_size=20, max_clips_per_user=10)
+    dataset = dataset if dataset is not None else _main_dataset(engine)
+    result = run_forgery_delay(
+        dataset, rounds=3, train_size=20, max_clips_per_user=10, engine=engine
+    )
     lines = ["Fig. 17 rejection vs forgery delay", f"{'delay':>7s} {'rejection':>10s}"]
     for delay, rejection in zip(result.delays_s, result.rejection_rate):
         lines.append(f"{delay:7.1f} {rejection:10.3f}")
     return lines
 
 
-def figure_ambient_light() -> list[str]:
+def figure_ambient_light(engine: ExecutionEngine | None = None) -> list[str]:
     """Sec. VIII-I: performance vs ambient illuminance."""
-    result = run_ambient_light()
+    result = run_ambient_light(engine=engine)
     lines = ["Sec. VIII-I performance vs ambient light", f"{'ambient':>10s} {'TAR':>8s} {'TRR':>8s}"]
     for p in result.points:
         lines.append(f"{p.label:>10s} {p.tar_mean:8.3f} {p.trr_mean:8.3f}")
@@ -180,8 +200,14 @@ def generate_all(
     out_dir: pathlib.Path | str,
     only: Sequence[str] | None = None,
     echo: bool = True,
+    engine: ExecutionEngine | None = None,
 ) -> dict[str, list[str]]:
-    """Regenerate the selected figures and write one text file each."""
+    """Regenerate the selected figures and write one text file each.
+
+    One ``engine`` is shared across all selected figures, so clips that
+    several sweeps revisit are extracted once (cache hits show up in the
+    engine's :class:`~repro.engine.PerfReport`).
+    """
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     names = list(only) if only else list(FIGURES)
@@ -189,11 +215,13 @@ def generate_all(
     if unknown:
         raise ValueError(f"unknown figures: {unknown}; available: {sorted(FIGURES)}")
 
-    dataset = _main_dataset() if any(FIGURES[n][0] for n in names) else None
+    dataset = _main_dataset(engine) if any(FIGURES[n][0] for n in names) else None
     results: dict[str, list[str]] = {}
     for name in names:
         needs_dataset, generator = FIGURES[name]
-        lines = generator(dataset) if needs_dataset else generator()
+        lines = (
+            generator(dataset, engine=engine) if needs_dataset else generator(engine=engine)
+        )
         results[name] = lines
         (out / f"{name}.txt").write_text("\n".join(lines) + "\n")
         if echo:

@@ -10,19 +10,40 @@ randomly-picked genuine instances train the LOF model and the remaining
 instances test it; attacks are scored against the same trained model.
 "Own" training uses the tested volunteer's clips, "other" training uses a
 different volunteer's clips — the paper's no-new-user-training property.
+
+Execution model
+---------------
+Every ``run_*`` function accepts an optional
+:class:`~repro.engine.ExecutionEngine`.  The Monte-Carlo rounds are
+partitioned into self-contained tasks (one task per user, sweep point,
+or training size), and every round derives its random generator from
+the experiment seed plus the task's coordinates
+(:func:`~repro.engine.task_rng`), never from a shared stream.  The
+result is therefore a pure function of the inputs: serial execution,
+``engine(jobs=1)``, and ``engine(jobs=N)`` are all bit-identical.
+
+With an engine, feature matrices are derived from the clips' raw
+luminance signals through the engine's content-addressed cache instead
+of read from the dataset's precomputed columns — byte-identical values
+(the dataset stored exactly what extraction returns), but sweeps that
+revisit the same clips (threshold, attempts, training size, zero-delay
+forgery) stop re-running the preprocessing chain, and ablations that
+change the config reuse the raw clips without resimulation.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
 from ..core.config import DetectorConfig
+from ..core.detector import LivenessDetector
 from ..core.features import extract_features
-from ..core.lof import LocalOutlierFactor
 from ..core.voting import VotingCombiner
+from ..engine import ExecutionEngine, task_rng
 from .dataset import ATTACK, GENUINE, FeatureDataset, build_dataset
 from .metrics import equal_error_rate
 from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile, make_population
@@ -53,11 +74,6 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
-def _fit_lof(train: np.ndarray, config: DetectorConfig) -> LocalOutlierFactor:
-    model = LocalOutlierFactor(n_neighbors=config.lof_neighbors)
-    return model.fit(train)
-
-
 def score_round(
     genuine: np.ndarray,
     attacks: np.ndarray,
@@ -72,6 +88,10 @@ def score_round(
     When ``train_pool`` is None the tested user's own genuine vectors are
     split into train/test; otherwise the pool provides the training
     sample ("other user" training) and *all* genuine vectors are tested.
+
+    The round is fitted through :class:`LivenessDetector` — the same
+    deployable unit the end-to-end verifiers use — so the protocol and
+    the product cannot drift apart on threshold or neighbor semantics.
     """
     if genuine.shape[0] < 2:
         raise ValueError("need at least 2 genuine instances")
@@ -85,12 +105,48 @@ def score_round(
         idx = rng.choice(train_pool.shape[0], size=min(train_size, train_pool.shape[0]), replace=False)
         train = train_pool[idx]
         test = genuine
-    model = _fit_lof(train, config)
-    genuine_scores = model.score_samples(test)
+    detector = LivenessDetector(config).fit(train)
+    genuine_scores = detector.score_samples(test)
     attack_scores = (
-        model.score_samples(attacks) if attacks.shape[0] else np.empty(0)
+        detector.score_samples(attacks) if attacks.shape[0] else np.empty(0)
     )
     return genuine_scores, attack_scores
+
+
+def _map(
+    engine: ExecutionEngine | None,
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    stage: str,
+) -> list[Any]:
+    """Run protocol tasks through the engine, or serially without one."""
+    if engine is None:
+        return [fn(task) for task in tasks]
+    return engine.map(fn, tasks, stage=stage)
+
+
+def _features_of(
+    dataset: FeatureDataset,
+    user: str,
+    role: str,
+    config: DetectorConfig,
+    engine: ExecutionEngine | None,
+) -> np.ndarray:
+    """Feature matrix of one (user, role) selection.
+
+    Without an engine this reads the dataset's precomputed features;
+    with one, features are derived from the raw signals through the
+    content-addressed cache (identical values, shareable across sweeps).
+    """
+    if engine is None:
+        return dataset.features_of(user, role)
+    clips = dataset.select(user, role)
+    if not clips:
+        return np.empty((0, 4), dtype=np.float64)
+    features = engine.extract_features_batch(
+        [(c.transmitted_luminance, c.received_luminance) for c in clips], config
+    )
+    return np.stack([fv.as_array() for fv in features])
 
 
 # ----------------------------------------------------------------------
@@ -121,35 +177,50 @@ class OverallResult:
     avg_trr: float
 
 
+def _overall_user_task(
+    payload: tuple[np.ndarray, np.ndarray, np.ndarray, DetectorConfig, int, int, int, int],
+) -> tuple[list[float], list[float], list[float]]:
+    """All rounds of one user's Fig. 11 evaluation (one engine task)."""
+    genuine, attacks, other, config, rounds, train_size, seed, user_index = payload
+    threshold = config.lof_threshold
+    tars_own: list[float] = []
+    tars_other: list[float] = []
+    trrs: list[float] = []
+    for round_index in range(rounds):
+        rng = task_rng(seed, user_index, round_index)
+        g_scores, a_scores = score_round(genuine, attacks, train_size, config, rng)
+        tars_own.append(float((g_scores <= threshold).mean()))
+        if a_scores.size:
+            trrs.append(float((a_scores > threshold).mean()))
+        g_scores_other, _ = score_round(
+            genuine, np.empty((0, 4)), train_size, config, rng, train_pool=other
+        )
+        tars_other.append(float((g_scores_other <= threshold).mean()))
+    return tars_own, tars_other, trrs
+
+
 def run_overall(
     dataset: FeatureDataset,
     config: DetectorConfig | None = None,
     rounds: int = 20,
     train_size: int = 20,
     seed: int = 7,
+    engine: ExecutionEngine | None = None,
 ) -> OverallResult:
     """Reproduce Fig. 11 (Sec. VIII-C)."""
     config = config or DetectorConfig()
-    rng = np.random.default_rng(seed)
     users = dataset.users
     if len(users) < 2:
         raise ValueError("overall evaluation needs at least 2 users")
-    threshold = config.lof_threshold
-    per_user: list[UserPerformance] = []
+    payloads = []
     for i, user in enumerate(users):
-        genuine = dataset.features_of(user, GENUINE)
-        attacks = dataset.features_of(user, ATTACK)
-        other = dataset.features_of(users[(i + 1) % len(users)], GENUINE)
-        tars_own, tars_other, trrs = [], [], []
-        for _ in range(rounds):
-            g_scores, a_scores = score_round(genuine, attacks, train_size, config, rng)
-            tars_own.append(float((g_scores <= threshold).mean()))
-            if a_scores.size:
-                trrs.append(float((a_scores > threshold).mean()))
-            g_scores_other, _ = score_round(
-                genuine, np.empty((0, 4)), train_size, config, rng, train_pool=other
-            )
-            tars_other.append(float((g_scores_other <= threshold).mean()))
+        genuine = _features_of(dataset, user, GENUINE, config, engine)
+        attacks = _features_of(dataset, user, ATTACK, config, engine)
+        other = _features_of(dataset, users[(i + 1) % len(users)], GENUINE, config, engine)
+        payloads.append((genuine, attacks, other, config, rounds, train_size, seed, i))
+    rows = _map(engine, _overall_user_task, payloads, stage="rounds")
+    per_user = []
+    for user, (tars_own, tars_other, trrs) in zip(users, rows):
         per_user.append(
             UserPerformance(
                 user=user,
@@ -185,6 +256,21 @@ class ThresholdSweepResult:
     eer_threshold: float
 
 
+def _threshold_user_task(
+    payload: tuple[np.ndarray, np.ndarray, DetectorConfig, int, int, int, int],
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """All rounds of one user's pooled-score collection (one engine task)."""
+    genuine, attacks, config, rounds, train_size, seed, user_index = payload
+    genuine_scores: list[np.ndarray] = []
+    attack_scores: list[np.ndarray] = []
+    for round_index in range(rounds):
+        rng = task_rng(seed, user_index, round_index)
+        g, a = score_round(genuine, attacks, train_size, config, rng)
+        genuine_scores.append(g)
+        attack_scores.append(a)
+    return genuine_scores, attack_scores
+
+
 def run_threshold_sweep(
     dataset: FeatureDataset,
     config: DetectorConfig | None = None,
@@ -192,6 +278,7 @@ def run_threshold_sweep(
     rounds: int = 20,
     train_size: int = 20,
     seed: int = 11,
+    engine: ExecutionEngine | None = None,
 ) -> ThresholdSweepResult:
     """Reproduce Fig. 12 (Sec. VIII-D).
 
@@ -202,16 +289,17 @@ def run_threshold_sweep(
     if thresholds is None:
         thresholds = np.arange(1.5, 4.01, 0.25)
     thresholds = np.asarray(list(thresholds), dtype=np.float64)
-    rng = np.random.default_rng(seed)
+    payloads = []
+    for i, user in enumerate(dataset.users):
+        genuine = _features_of(dataset, user, GENUINE, config, engine)
+        attacks = _features_of(dataset, user, ATTACK, config, engine)
+        payloads.append((genuine, attacks, config, rounds, train_size, seed, i))
+    rows = _map(engine, _threshold_user_task, payloads, stage="rounds")
     genuine_scores: list[np.ndarray] = []
     attack_scores: list[np.ndarray] = []
-    for user in dataset.users:
-        genuine = dataset.features_of(user, GENUINE)
-        attacks = dataset.features_of(user, ATTACK)
-        for _ in range(rounds):
-            g, a = score_round(genuine, attacks, train_size, config, rng)
-            genuine_scores.append(g)
-            attack_scores.append(a)
+    for g_list, a_list in rows:
+        genuine_scores.extend(g_list)
+        attack_scores.extend(a_list)
     g_all = np.concatenate(genuine_scores)
     a_all = np.concatenate(attack_scores)
     far = np.array([float((a_all <= t).mean()) for t in thresholds])
@@ -240,6 +328,46 @@ class AttemptsResult:
     trr_std: np.ndarray
 
 
+def _attempts_user_task(
+    payload: tuple[
+        np.ndarray, np.ndarray, np.ndarray, DetectorConfig,
+        tuple[int, ...], int, int, int, int, int,
+    ],
+) -> tuple[dict[int, list[float]], dict[int, list[float]], dict[int, list[float]]]:
+    """All voting rounds of one user's Fig. 14 evaluation."""
+    (
+        genuine, attacks, other, config,
+        attempts, rounds, trials_per_round, train_size, seed, user_index,
+    ) = payload
+    combiner = VotingCombiner(config.vote_fraction)
+    threshold = config.lof_threshold
+    acc_own: dict[int, list[float]] = {d: [] for d in attempts}
+    acc_other: dict[int, list[float]] = {d: [] for d in attempts}
+    rej: dict[int, list[float]] = {d: [] for d in attempts}
+    for round_index in range(rounds):
+        rng = task_rng(seed, user_index, round_index)
+        g_own, a_own = score_round(genuine, attacks, train_size, config, rng)
+        g_other, _ = score_round(
+            genuine, np.empty((0, 4)), train_size, config, rng, train_pool=other
+        )
+        for d in attempts:
+            for scores, sink, attacker_truth in (
+                (g_own, acc_own, False),
+                (g_other, acc_other, False),
+                (a_own, rej, True),
+            ):
+                if scores.size == 0:
+                    continue
+                correct = 0
+                for _ in range(trials_per_round):
+                    picked = rng.choice(scores, size=d, replace=True)
+                    verdict = combiner.combine_bools(list(picked > threshold))
+                    if verdict.is_attacker == attacker_truth:
+                        correct += 1
+                sink[d].append(correct / trials_per_round)
+    return acc_own, acc_other, rej
+
+
 def run_attempts(
     dataset: FeatureDataset,
     config: DetectorConfig | None = None,
@@ -248,45 +376,34 @@ def run_attempts(
     trials_per_round: int = 10,
     train_size: int = 20,
     seed: int = 13,
+    engine: ExecutionEngine | None = None,
 ) -> AttemptsResult:
     """Reproduce Fig. 14 (Sec. VIII-F): majority voting over D attempts."""
     config = config or DetectorConfig()
-    combiner = VotingCombiner(config.vote_fraction)
-    rng = np.random.default_rng(seed)
-    threshold = config.lof_threshold
+    attempts = tuple(attempts)
     users = dataset.users
+    payloads = []
+    for i, user in enumerate(users):
+        genuine = _features_of(dataset, user, GENUINE, config, engine)
+        attacks = _features_of(dataset, user, ATTACK, config, engine)
+        other = _features_of(dataset, users[(i + 1) % len(users)], GENUINE, config, engine)
+        payloads.append(
+            (genuine, attacks, other, config,
+             attempts, rounds, trials_per_round, train_size, seed, i)
+        )
+    rows = _map(engine, _attempts_user_task, payloads, stage="rounds")
 
     acc_own: dict[int, list[float]] = {d: [] for d in attempts}
     acc_other: dict[int, list[float]] = {d: [] for d in attempts}
     rej: dict[int, list[float]] = {d: [] for d in attempts}
-
-    for i, user in enumerate(users):
-        genuine = dataset.features_of(user, GENUINE)
-        attacks = dataset.features_of(user, ATTACK)
-        other = dataset.features_of(users[(i + 1) % len(users)], GENUINE)
-        for _ in range(rounds):
-            g_own, a_own = score_round(genuine, attacks, train_size, config, rng)
-            g_other, _ = score_round(
-                genuine, np.empty((0, 4)), train_size, config, rng, train_pool=other
-            )
-            for d in attempts:
-                for scores, sink, attacker_truth in (
-                    (g_own, acc_own, False),
-                    (g_other, acc_other, False),
-                    (a_own, rej, True),
-                ):
-                    if scores.size == 0:
-                        continue
-                    correct = 0
-                    for _ in range(trials_per_round):
-                        picked = rng.choice(scores, size=d, replace=True)
-                        verdict = combiner.combine_bools(list(picked > threshold))
-                        if verdict.is_attacker == attacker_truth:
-                            correct += 1
-                    sink[d].append(correct / trials_per_round)
+    for user_own, user_other, user_rej in rows:
+        for d in attempts:
+            acc_own[d].extend(user_own[d])
+            acc_other[d].extend(user_other[d])
+            rej[d].extend(user_rej[d])
 
     return AttemptsResult(
-        attempts=tuple(attempts),
+        attempts=attempts,
         tar_own_mean=np.array([np.mean(acc_own[d]) for d in attempts]),
         tar_own_std=np.array([np.std(acc_own[d]) for d in attempts]),
         tar_other_mean=np.array([np.mean(acc_other[d]) for d in attempts]),
@@ -312,6 +429,22 @@ class TrainingSizeResult:
     trr_std: np.ndarray
 
 
+def _training_size_task(
+    payload: tuple[np.ndarray, np.ndarray, DetectorConfig, int, int, int, int],
+) -> tuple[list[float], list[float]]:
+    """All rounds at one training-set size (one engine task)."""
+    genuine, attacks, config, size, rounds, seed, size_index = payload
+    threshold = config.lof_threshold
+    tars: list[float] = []
+    trrs: list[float] = []
+    for round_index in range(rounds):
+        rng = task_rng(seed, size_index, round_index)
+        g, a = score_round(genuine, attacks, size, config, rng)
+        tars.append(float((g <= threshold).mean()))
+        trrs.append(float((a > threshold).mean()))
+    return tars, trrs
+
+
 def run_training_size(
     dataset: FeatureDataset,
     user: str | None = None,
@@ -319,21 +452,20 @@ def run_training_size(
     sizes: Sequence[int] = (4, 8, 12, 16, 20),
     rounds: int = 20,
     seed: int = 17,
+    engine: ExecutionEngine | None = None,
 ) -> TrainingSizeResult:
     """Reproduce Fig. 15 (Sec. VIII-G)."""
     config = config or DetectorConfig()
-    rng = np.random.default_rng(seed)
     user = user or dataset.users[0]
-    genuine = dataset.features_of(user, GENUINE)
-    attacks = dataset.features_of(user, ATTACK)
-    threshold = config.lof_threshold
+    genuine = _features_of(dataset, user, GENUINE, config, engine)
+    attacks = _features_of(dataset, user, ATTACK, config, engine)
+    payloads = [
+        (genuine, attacks, config, size, rounds, seed, size_index)
+        for size_index, size in enumerate(sizes)
+    ]
+    rows = _map(engine, _training_size_task, payloads, stage="rounds")
     tar_mean, tar_std, trr_mean, trr_std = [], [], [], []
-    for size in sizes:
-        tars, trrs = [], []
-        for _ in range(rounds):
-            g, a = score_round(genuine, attacks, size, config, rng)
-            tars.append(float((g <= threshold).mean()))
-            trrs.append(float((a > threshold).mean()))
+    for tars, trrs in rows:
         tar_mean.append(np.mean(tars))
         tar_std.append(np.std(tars))
         trr_mean.append(np.mean(trrs))
@@ -372,13 +504,36 @@ class RateSweepResult:
     points: tuple[SweepPoint, ...]
 
 
+def _eval_user_task(
+    payload: tuple[
+        np.ndarray, np.ndarray, np.ndarray | None, int,
+        DetectorConfig, int, tuple[int, ...], int,
+    ],
+) -> tuple[list[float], list[float]]:
+    """All rounds of one user within one sweep point (one engine task)."""
+    genuine, attacks, pool, effective_train, config, rounds, seed_key, user_index = payload
+    threshold = config.lof_threshold
+    tars: list[float] = []
+    trrs: list[float] = []
+    for round_index in range(rounds):
+        rng = task_rng(*seed_key, user_index, round_index)
+        g, a = score_round(
+            genuine, attacks, effective_train, config, rng, train_pool=pool
+        )
+        tars.append(float((g <= threshold).mean()))
+        if a.size:
+            trrs.append(float((a > threshold).mean()))
+    return tars, trrs
+
+
 def _evaluate_dataset(
     dataset: FeatureDataset,
     config: DetectorConfig,
     rounds: int,
     train_size: int,
-    rng: np.random.Generator,
+    seed: int | Sequence[int],
     train_dataset: FeatureDataset | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> tuple[float, float, float, float]:
     """Pooled TAR/TRR (mean, std over rounds) across the dataset's users.
 
@@ -390,26 +545,28 @@ def _evaluate_dataset(
     attack features onto the same point and report a flattering TAR with
     zero real security.
     """
-    threshold = config.lof_threshold
-    tars, trrs = [], []
-    for user in dataset.users:
-        genuine = dataset.features_of(user, GENUINE)
-        attacks = dataset.features_of(user, ATTACK)
+    seed_key = (seed,) if isinstance(seed, int) else tuple(seed)
+    payloads = []
+    for i, user in enumerate(dataset.users):
+        genuine = _features_of(dataset, user, GENUINE, config, engine)
+        attacks = _features_of(dataset, user, ATTACK, config, engine)
         if train_dataset is None:
             effective_train = min(train_size, genuine.shape[0] - 1)
             pool = None
         else:
-            pool = train_dataset.features_of(user, GENUINE)
+            pool = _features_of(train_dataset, user, GENUINE, config, engine)
             if pool.shape[0] < 2:
                 raise ValueError(f"train dataset lacks genuine clips for {user!r}")
             effective_train = min(train_size, pool.shape[0])
-        for _ in range(rounds):
-            g, a = score_round(
-                genuine, attacks, effective_train, config, rng, train_pool=pool
-            )
-            tars.append(float((g <= threshold).mean()))
-            if a.size:
-                trrs.append(float((a > threshold).mean()))
+        payloads.append(
+            (genuine, attacks, pool, effective_train, config, rounds, seed_key, i)
+        )
+    rows = _map(engine, _eval_user_task, payloads, stage="rounds")
+    tars: list[float] = []
+    trrs: list[float] = []
+    for user_tars, user_trrs in rows:
+        tars.extend(user_tars)
+        trrs.extend(user_trrs)
     return (
         float(np.mean(tars)),
         float(np.std(tars)),
@@ -428,6 +585,7 @@ def run_screen_size(
     train_size: int = 10,
     seed: int = 19,
     progress: bool = False,
+    engine: ExecutionEngine | None = None,
 ) -> RateSweepResult:
     """Reproduce Fig. 13 (Sec. VIII-E): performance vs screen size.
 
@@ -439,25 +597,27 @@ def run_screen_size(
     """
     config = config or DetectorConfig()
     population = list(population) if population is not None else make_population(4)
-    rng = np.random.default_rng(seed)
     train_dataset = build_dataset(
         population=population,
         clips_per_role=clips_per_role,
         env=train_env or DEFAULT_ENVIRONMENT,
         config=config,
         progress=progress,
+        engine=engine,
     )
     points = []
-    for label, env in screens:
+    for point_index, (label, env) in enumerate(screens):
         dataset = build_dataset(
             population=population,
             clips_per_role=clips_per_role,
             env=env,
             config=config,
             progress=progress,
+            engine=engine,
         )
         tar_m, tar_s, trr_m, trr_s = _evaluate_dataset(
-            dataset, config, rounds, train_size, rng, train_dataset=train_dataset
+            dataset, config, rounds, train_size,
+            seed=(seed, point_index), train_dataset=train_dataset, engine=engine,
         )
         points.append(SweepPoint(label, tar_m, tar_s, trr_m, trr_s))
     return RateSweepResult(name="screen size", points=tuple(points))
@@ -473,6 +633,7 @@ def run_sampling_rate(
     train_size: int = 20,
     seed: int = 23,
     progress: bool = False,
+    engine: ExecutionEngine | None = None,
 ) -> RateSweepResult:
     """Reproduce Fig. 16 (Sec. VIII-H): performance vs sampling rate.
 
@@ -489,19 +650,20 @@ def run_sampling_rate(
     base_config = config or DetectorConfig()
     env = env or DEFAULT_ENVIRONMENT
     population = list(population) if population is not None else make_population(1)
-    rng = np.random.default_rng(seed)
     points = []
-    for rate in rates_hz:
-        rate_config = base_config.replace(sample_rate_hz=float(rate))
+    for point_index, rate in enumerate(rates_hz):
+        rate_config = base_config.with_overrides(sample_rate_hz=float(rate))
         dataset = build_dataset(
             population=population,
             clips_per_role=clips_per_role,
             env=env,
             config=rate_config,
             progress=progress,
+            engine=engine,
         )
         tar_m, tar_s, trr_m, trr_s = _evaluate_dataset(
-            dataset, rate_config, rounds, train_size, rng
+            dataset, rate_config, rounds, train_size,
+            seed=(seed, point_index), engine=engine,
         )
         points.append(SweepPoint(f"{rate:g} Hz", tar_m, tar_s, trr_m, trr_s))
     return RateSweepResult(name="sampling rate", points=tuple(points))
@@ -517,12 +679,12 @@ def run_ambient_light(
     train_size: int = 10,
     seed: int = 29,
     progress: bool = False,
+    engine: ExecutionEngine | None = None,
 ) -> RateSweepResult:
     """Reproduce Sec. VIII-I: performance vs ambient illuminance."""
     config = config or DetectorConfig()
     base_env = env or DEFAULT_ENVIRONMENT
     population = list(population) if population is not None else make_population(2)
-    rng = np.random.default_rng(seed)
     # Enrollment happens in the nominal room; the sweep changes the room.
     train_dataset = build_dataset(
         population=population,
@@ -530,9 +692,10 @@ def run_ambient_light(
         env=base_env,
         config=config,
         progress=progress,
+        engine=engine,
     )
     points = []
-    for lux in lux_levels:
+    for point_index, lux in enumerate(lux_levels):
         sweep_env = base_env.replace(prover_ambient_lux=float(lux))
         dataset = build_dataset(
             population=population,
@@ -540,9 +703,11 @@ def run_ambient_light(
             env=sweep_env,
             config=config,
             progress=progress,
+            engine=engine,
         )
         tar_m, tar_s, trr_m, trr_s = _evaluate_dataset(
-            dataset, config, rounds, train_size, rng, train_dataset=train_dataset
+            dataset, config, rounds, train_size,
+            seed=(seed, point_index), train_dataset=train_dataset, engine=engine,
         )
         points.append(SweepPoint(f"{lux:g} lux", tar_m, tar_s, trr_m, trr_s))
     return RateSweepResult(name="ambient light", points=tuple(points))
@@ -561,6 +726,14 @@ class DelaySweepResult:
     rejection_rate: np.ndarray
 
 
+def _delayed_received(received: np.ndarray, shift: int) -> np.ndarray:
+    """The received signal as a forger with ``shift`` samples of
+    processing delay would present it."""
+    if shift <= 0:
+        return received
+    return np.concatenate([np.full(shift, received[0]), received[:-shift]])
+
+
 def run_forgery_delay(
     dataset: FeatureDataset,
     config: DetectorConfig | None = None,
@@ -569,16 +742,18 @@ def run_forgery_delay(
     train_size: int = 20,
     max_clips_per_user: int = 20,
     seed: int = 31,
+    engine: ExecutionEngine | None = None,
 ) -> DelaySweepResult:
     """Reproduce Fig. 17 (Sec. VIII-J).
 
     The paper's method, exactly: take *legitimate* signal pairs (i.e. an
     attacker who forges the reflected luminance perfectly), shift the
     received signal by the forgery processing delay, and measure how the
-    rejection rate grows with the delay.
+    rejection rate grows with the delay.  With an engine, the zero-delay
+    point is a pure cache hit (the shifted pair *is* the original clip),
+    and each delay's re-extraction fans out over the pool.
     """
     config = config or DetectorConfig()
-    rng = np.random.default_rng(seed)
     delays = np.asarray(list(delays_s), dtype=np.float64)
     rejection = np.zeros_like(delays)
 
@@ -587,34 +762,42 @@ def run_forgery_delay(
         for user in dataset.users
     }
 
-    # Pre-fit `rounds` models per user on independent training samples.
-    models: dict[str, list[LocalOutlierFactor]] = {}
-    for user in dataset.users:
-        genuine = dataset.features_of(user, GENUINE)
+    # Pre-fit `rounds` detectors per user on independent training samples.
+    detectors: dict[str, list[LivenessDetector]] = {}
+    for user_index, user in enumerate(dataset.users):
+        genuine = _features_of(dataset, user, GENUINE, config, engine)
         size = min(train_size, genuine.shape[0] - 1)
-        user_models = []
-        for _ in range(rounds):
+        user_detectors = []
+        for round_index in range(rounds):
+            rng = task_rng(seed, user_index, round_index)
             perm = rng.permutation(genuine.shape[0])
-            user_models.append(_fit_lof(genuine[perm[:size]], config))
-        models[user] = user_models
+            user_detectors.append(LivenessDetector(config).fit(genuine[perm[:size]]))
+        detectors[user] = user_detectors
 
     for d_index, delay in enumerate(delays):
         shift = int(round(delay * config.sample_rate_hz))
+        ordered_users = [u for u, clips in per_user_clips.items() if clips]
+        pairs = [
+            (clip.transmitted_luminance, _delayed_received(clip.received_luminance, shift))
+            for user in ordered_users
+            for clip in per_user_clips[user]
+        ]
+        if engine is None:
+            feature_vectors = [
+                extract_features(t_lum, r_lum, config).features
+                for t_lum, r_lum in pairs
+            ]
+        else:
+            feature_vectors = engine.extract_features_batch(pairs, config)
         rejected = 0
         total = 0
-        for user, clips in per_user_clips.items():
-            for clip in clips:
-                r = clip.received_luminance
-                if shift > 0:
-                    r_delayed = np.concatenate([np.full(shift, r[0]), r[:-shift]])
-                else:
-                    r_delayed = r
-                features = extract_features(
-                    clip.transmitted_luminance, r_delayed, config
-                ).features
-                z = features.as_array()
-                for model in models[user]:
-                    rejected += int(model.score(z) > config.lof_threshold)
+        cursor = 0
+        for user in ordered_users:
+            for _ in per_user_clips[user]:
+                features = feature_vectors[cursor]
+                cursor += 1
+                for detector in detectors[user]:
+                    rejected += int(detector.verify_features(features).rejected)
                     total += 1
         rejection[d_index] = rejected / total if total else float("nan")
     return DelaySweepResult(delays_s=delays, rejection_rate=rejection)

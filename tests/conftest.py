@@ -7,6 +7,9 @@ exercising every real code path end to end.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -20,6 +23,31 @@ from repro.experiments.simulate import (
 from repro.vision.expression import PoseState
 from repro.vision.face_model import make_face
 from repro.vision.renderer import FaceRenderer
+
+
+def pytest_sessionstart(session):
+    session.config._repro_session_t0 = time.perf_counter()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Keep the tier-1 suite fast: fail the run if it blows the budget.
+
+    The budget is wall-clock seconds for the whole session, overridable
+    via ``REPRO_TIER1_BUDGET_S`` (generous default so only a real
+    regression — e.g. a test accidentally simulating full-scale datasets
+    — trips it, not machine-to-machine noise).
+    """
+    start = getattr(session.config, "_repro_session_t0", None)
+    if start is None:
+        return
+    budget_s = float(os.environ.get("REPRO_TIER1_BUDGET_S", "900"))
+    elapsed = time.perf_counter() - start
+    if elapsed > budget_s:
+        session.exitstatus = 1
+        print(
+            f"\ntier-1 runtime budget exceeded: {elapsed:.1f}s > {budget_s:.0f}s "
+            "(set REPRO_TIER1_BUDGET_S to override)"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -73,17 +73,29 @@ class TestValidation:
             DetectorConfig(peak_prominence_face=0.0)
 
 
-class TestReplace:
-    def test_replace_returns_modified_copy(self):
-        changed = PAPER_CONFIG.replace(sample_rate_hz=8.0)
+class TestWithOverrides:
+    def test_returns_modified_copy(self):
+        changed = PAPER_CONFIG.with_overrides(sample_rate_hz=8.0)
         assert changed.sample_rate_hz == 8.0
         assert PAPER_CONFIG.sample_rate_hz == 10.0
         assert changed.lof_threshold == PAPER_CONFIG.lof_threshold
 
-    def test_replace_validates(self):
+    def test_validates_values(self):
         with pytest.raises(ValueError):
-            PAPER_CONFIG.replace(sample_rate_hz=-1.0)
+            PAPER_CONFIG.with_overrides(sample_rate_hz=-1.0)
+
+    def test_rejects_unknown_field_by_name(self):
+        with pytest.raises(ValueError, match="lof_treshold"):
+            PAPER_CONFIG.with_overrides(lof_treshold=2.0)
+
+    def test_no_overrides_is_an_identical_copy(self):
+        assert PAPER_CONFIG.with_overrides() == PAPER_CONFIG
 
     def test_samples_per_clip_tracks_rate(self):
-        assert PAPER_CONFIG.replace(sample_rate_hz=8.0).samples_per_clip == 120
-        assert PAPER_CONFIG.replace(sample_rate_hz=5.0).samples_per_clip == 75
+        assert PAPER_CONFIG.with_overrides(sample_rate_hz=8.0).samples_per_clip == 120
+        assert PAPER_CONFIG.with_overrides(sample_rate_hz=5.0).samples_per_clip == 75
+
+    def test_deprecated_replace_alias_delegates(self):
+        assert PAPER_CONFIG.replace(sample_rate_hz=8.0) == PAPER_CONFIG.with_overrides(
+            sample_rate_hz=8.0
+        )

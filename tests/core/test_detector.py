@@ -91,3 +91,14 @@ class TestVerification:
         fake[25:] += 25.0
         fake[80:] -= 35.0
         assert det.verify_clip(step_signal, fake).rejected
+
+    def test_score_samples_matches_per_vector_scores(self, trained):
+        batch = np.stack([GENUINE_FEATURES.as_array(), ATTACK_FEATURES.as_array()])
+        scores = trained.score_samples(batch)
+        assert scores.shape == (2,)
+        assert scores[0] == trained.score(GENUINE_FEATURES)
+        assert scores[1] == trained.score(ATTACK_FEATURES)
+
+    def test_score_samples_before_training_raises(self):
+        with pytest.raises(RuntimeError):
+            LivenessDetector().score_samples(np.zeros((2, 4)))

@@ -1,0 +1,79 @@
+"""PerfRecorder/PerfReport: stage timing, counters, printable rows."""
+
+from repro.engine import PerfRecorder
+
+
+def _snapshot(recorder, jobs=1, hits=0, misses=0):
+    return recorder.snapshot(jobs=jobs, cache_hits=hits, cache_misses=misses)
+
+
+class TestRecorder:
+    def test_stage_accumulates_calls_and_tasks(self):
+        rec = PerfRecorder()
+        for _ in range(3):
+            with rec.stage("rounds", tasks=5):
+                pass
+        (stage,) = _snapshot(rec).stages
+        assert stage.name == "rounds"
+        assert stage.calls == 3
+        assert stage.tasks == 15
+        assert stage.wall_s >= 0.0
+
+    def test_stage_order_is_first_use_order(self):
+        rec = PerfRecorder()
+        for name in ("simulate", "features", "rounds", "features"):
+            with rec.stage(name):
+                pass
+        assert [s.name for s in _snapshot(rec).stages] == [
+            "simulate",
+            "features",
+            "rounds",
+        ]
+
+    def test_add_tasks_counts_against_existing_stage(self):
+        rec = PerfRecorder()
+        with rec.stage("features", tasks=2):
+            pass
+        rec.add_tasks("features", 3)
+        report = _snapshot(rec)
+        assert report.stages[0].tasks == 5
+        assert report.tasks_completed == 5
+
+    def test_reset_zeroes_counters(self):
+        rec = PerfRecorder()
+        with rec.stage("x", tasks=9):
+            pass
+        rec.reset()
+        report = _snapshot(rec)
+        assert report.stages == ()
+        assert report.tasks_completed == 0
+
+    def test_stage_records_even_when_body_raises(self):
+        rec = PerfRecorder()
+        try:
+            with rec.stage("boom", tasks=1):
+                raise RuntimeError("task failed")
+        except RuntimeError:
+            pass
+        assert _snapshot(rec).stages[0].calls == 1
+
+
+class TestReport:
+    def test_cache_rates(self):
+        report = _snapshot(PerfRecorder(), jobs=4, hits=3, misses=1)
+        assert report.jobs == 4
+        assert report.cache_lookups == 4
+        assert report.cache_hit_rate == 0.75
+
+    def test_hit_rate_defined_without_lookups(self):
+        assert _snapshot(PerfRecorder()).cache_hit_rate == 0.0
+
+    def test_str_mentions_stages_and_cache(self):
+        rec = PerfRecorder()
+        with rec.stage("features", tasks=10):
+            pass
+        text = str(_snapshot(rec, jobs=2, hits=7, misses=3))
+        assert "PerfReport (jobs=2)" in text
+        assert "features" in text
+        assert "7 hits / 3 misses" in text
+        assert "70.0% hit rate" in text

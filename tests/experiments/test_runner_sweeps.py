@@ -40,13 +40,12 @@ class TestNominalTrainingRule:
         collapse to (0, 0, ...).  Per-condition training then accepts
         everyone; nominal training correctly rejects everyone."""
         config = DetectorConfig()
-        rng = np.random.default_rng(1)
         nominal = _dataset(NOMINAL_GENUINE, ATTACK_CENTER, seed=2)
         degenerate = _dataset((0.0, 0.0, -0.2, 0.8), (0.0, 0.0, -0.3, 0.85), seed=3)
 
         # Per-condition training: flattering TAR, no security.
         tar_pc, _, trr_pc, _ = _evaluate_dataset(
-            degenerate, config, rounds=5, train_size=15, rng=rng
+            degenerate, config, rounds=5, train_size=15, seed=1
         )
         assert tar_pc > 0.8
         assert trr_pc < 0.5
@@ -54,7 +53,7 @@ class TestNominalTrainingRule:
         # Nominal training: the degenerate clips are outliers for
         # everyone -> low TAR, high TRR (the honest picture).
         tar_nom, _, trr_nom, _ = _evaluate_dataset(
-            degenerate, config, rounds=5, train_size=15, rng=rng, train_dataset=nominal
+            degenerate, config, rounds=5, train_size=15, seed=1, train_dataset=nominal
         )
         assert tar_nom < 0.3
         assert trr_nom > 0.9
@@ -63,24 +62,22 @@ class TestNominalTrainingRule:
         """When the swept condition IS the nominal one, both protocols
         give the same picture."""
         config = DetectorConfig()
-        rng = np.random.default_rng(4)
         nominal = _dataset(NOMINAL_GENUINE, ATTACK_CENTER, seed=5)
         same = _dataset(NOMINAL_GENUINE, ATTACK_CENTER, seed=6)
         tar_pc, _, trr_pc, _ = _evaluate_dataset(
-            same, config, rounds=5, train_size=15, rng=rng
+            same, config, rounds=5, train_size=15, seed=4
         )
         tar_nom, _, trr_nom, _ = _evaluate_dataset(
-            same, config, rounds=5, train_size=15, rng=rng, train_dataset=nominal
+            same, config, rounds=5, train_size=15, seed=40, train_dataset=nominal
         )
         assert tar_nom == pytest.approx(tar_pc, abs=0.15)
         assert trr_nom == pytest.approx(trr_pc, abs=0.1)
 
     def test_missing_user_in_train_dataset_raises(self):
         config = DetectorConfig()
-        rng = np.random.default_rng(7)
         test_ds = _dataset(NOMINAL_GENUINE, ATTACK_CENTER, seed=8, user="u_new")
         train_ds = _dataset(NOMINAL_GENUINE, ATTACK_CENTER, seed=9, user="u_other")
         with pytest.raises(ValueError):
             _evaluate_dataset(
-                test_ds, config, rounds=2, train_size=10, rng=rng, train_dataset=train_ds
+                test_ds, config, rounds=2, train_size=10, seed=7, train_dataset=train_ds
             )

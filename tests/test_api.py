@@ -1,0 +1,32 @@
+"""The public facade: one blessed import surface for applications."""
+
+import repro
+import repro.api as api
+
+
+class TestFacade:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_top_level_package_mirrors_facade(self):
+        """`from repro import X` and `from repro.api import X` agree."""
+        for name in api.__all__:
+            if hasattr(repro, name):
+                assert getattr(repro, name) is getattr(api, name)
+
+    def test_core_entry_points_are_the_real_ones(self):
+        from repro.core.config import PAPER_CONFIG
+        from repro.core.pipeline import ChatVerifier, VerificationReport
+        from repro.engine import ExecutionEngine
+
+        assert api.PAPER_CONFIG is PAPER_CONFIG
+        assert api.ChatVerifier is ChatVerifier
+        assert api.VerificationReport is VerificationReport
+        assert api.ExecutionEngine is ExecutionEngine
+
+    def test_deprecated_aliases_still_point_at_the_report(self):
+        from repro.core.pipeline import DiagnosedVerdict, SessionVerdict
+
+        assert SessionVerdict is api.VerificationReport
+        assert DiagnosedVerdict is api.VerificationReport
