@@ -12,7 +12,11 @@ import lives here, re-exported from the subsystem that owns it:
   paper's exact :data:`PAPER_CONFIG`;
 * the execution engine — :class:`ExecutionEngine`, :class:`FeatureCache`
   and the printable :class:`PerfReport`;
-* session simulation — the ``simulate_*`` entry points the examples use.
+* session simulation — the ``simulate_*`` entry points the examples use;
+* fault injection — :class:`FaultSpec`/:class:`FaultSchedule`, the
+  faulted session builder and the :func:`run_fault_matrix` robustness
+  sweep, plus the streaming quality-gate vocabulary
+  (:class:`GatedAttempt`, :class:`ClipQuality`, :class:`AttemptVerdict`).
 
 Importing from submodule paths keeps working, but only the names listed
 here are covered by the compatibility promise.
@@ -22,18 +26,41 @@ from .core.config import PAPER_CONFIG, DetectorConfig
 from .core.detector import DetectionResult, LivenessDetector
 from .core.features import FeatureVector, extract_features
 from .core.pipeline import ChatVerifier, VerificationReport
-from .core.streaming import CallStatus, StreamingState, StreamingVerifier
+from .core.streaming import (
+    AttemptVerdict,
+    CallStatus,
+    ClipQuality,
+    GatedAttempt,
+    StreamingState,
+    StreamingVerifier,
+)
 from .core.voting import Verdict, VotingCombiner
 from .engine import ExecutionEngine, FeatureCache, PerfReport
+from .experiments.faultmatrix import (
+    DEFAULT_FAULT_SPEC,
+    FaultCell,
+    FaultMatrixResult,
+    run_fault_matrix,
+    simulate_faulted_session,
+)
 from .experiments.simulate import (
     simulate_adaptive_attack_session,
     simulate_attack_session,
     simulate_genuine_session,
     simulate_replay_attack_session,
 )
+from .faults import FaultSchedule, FaultSpec
 
 __all__ = [
+    "AttemptVerdict",
     "CallStatus",
+    "ClipQuality",
+    "DEFAULT_FAULT_SPEC",
+    "FaultCell",
+    "FaultMatrixResult",
+    "FaultSchedule",
+    "FaultSpec",
+    "GatedAttempt",
     "ChatVerifier",
     "DetectionResult",
     "DetectorConfig",
@@ -49,8 +76,10 @@ __all__ = [
     "VerificationReport",
     "VotingCombiner",
     "extract_features",
+    "run_fault_matrix",
     "simulate_adaptive_attack_session",
     "simulate_attack_session",
+    "simulate_faulted_session",
     "simulate_genuine_session",
     "simulate_replay_attack_session",
 ]

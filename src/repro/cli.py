@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four subcommands mirroring the library's main uses::
+Five subcommands mirroring the library's main uses::
 
     python -m repro demo                 # quick genuine-vs-attacker demo
     python -m repro verify --role attack # simulate + verify one session
     python -m repro figures --only fig11 # regenerate paper figures
+    python -m repro faults --jobs 2      # fault-severity robustness matrix
     python -m repro info                 # configuration + paper constants
 
 The CLI exists so the reproduction can be driven without writing Python
@@ -109,6 +110,38 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Sweep the fault-severity grid through the gated streaming verifier."""
+    import dataclasses as dc
+
+    from .experiments.faultmatrix import run_fault_matrix
+    from .experiments.profiles import DEFAULT_ENVIRONMENT
+
+    # Small frames keep the sweep interactive; detection quality is
+    # unaffected (the ROI probe only needs the nasal bridge resolved).
+    env = dc.replace(
+        DEFAULT_ENVIRONMENT,
+        frame_size=(args.frame, args.frame),
+        verifier_frame_size=(args.verifier_frame, args.verifier_frame),
+    )
+    with ExecutionEngine(jobs=args.jobs) as engine:
+        result = run_fault_matrix(
+            severities=tuple(args.severities),
+            roles=tuple(args.roles),
+            sessions_per_cell=args.sessions,
+            duration_s=args.duration,
+            enroll_sessions=args.enroll,
+            env=env,
+            seed=args.seed,
+            engine=engine,
+        )
+        print(result)
+        if args.perf:
+            print()
+            print(engine.perf_report())
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Print the paper configuration and the library version."""
     del args
@@ -164,6 +197,45 @@ def build_parser() -> argparse.ArgumentParser:
         "hits/misses, tasks/sec) after the figures",
     )
     figures.set_defaults(func=cmd_figures)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection robustness matrix (severity x role)"
+    )
+    faults.add_argument(
+        "--severities",
+        type=float,
+        nargs="*",
+        default=(0.0, 0.25, 0.5, 1.0),
+        help="fault-severity multipliers applied to the default profile",
+    )
+    faults.add_argument(
+        "--roles", nargs="*", default=("genuine", "attack"), help="cell roles"
+    )
+    faults.add_argument("--sessions", type=int, default=2, help="sessions per cell")
+    faults.add_argument(
+        "--duration", type=float, default=30.0, help="seconds of chat per session"
+    )
+    faults.add_argument("--enroll", type=int, default=8, help="enrollment sessions")
+    faults.add_argument("--seed", type=int, default=97)
+    faults.add_argument(
+        "--frame", type=int, default=72, help="prover frame edge (pixels)"
+    )
+    faults.add_argument(
+        "--verifier-frame", type=int, default=48, help="verifier frame edge (pixels)"
+    )
+    faults.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the execution engine (1 = serial; "
+        "results are identical at any job count)",
+    )
+    faults.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the engine's PerfReport (incl. quality-gate counters)",
+    )
+    faults.set_defaults(func=cmd_faults)
 
     info = sub.add_parser("info", help=cmd_info.__doc__)
     info.set_defaults(func=cmd_info)

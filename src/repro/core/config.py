@@ -84,6 +84,20 @@ class DetectorConfig:
     vote_fraction:
         An untrusted user is declared an attacker when its attacker votes
         exceed ``vote_fraction * D`` over D attempts (Sec. VII-B: 0.7).
+    gate_min_landmark_fraction:
+        Streaming quality gate: minimum fraction of a clip's received
+        samples with a usable landmark detection.  Below it the clip's
+        attempt is graded ``INCONCLUSIVE`` and excluded from the vote —
+        a face the system cannot find proves nothing either way.
+    gate_max_frozen_fraction:
+        Streaming quality gate: maximum fraction of a clip's received
+        samples allowed to be loss-concealed (frozen/stale) frames.  A
+        signal dominated by freeze concealment carries the *channel's*
+        behaviour, not the peer's.
+    gate_min_transmitted_changes:
+        Streaming quality gate: minimum number of significant luminance
+        changes the transmitted clip must contain for its attempt to be
+        conclusive (no challenge issued means nothing to verify).
     """
 
     sample_rate_hz: float = 10.0
@@ -110,6 +124,10 @@ class DetectorConfig:
     lof_neighbors: int = 5
     lof_threshold: float = 3.0
     vote_fraction: float = 0.7
+
+    gate_min_landmark_fraction: float = 0.5
+    gate_max_frozen_fraction: float = 0.5
+    gate_min_transmitted_changes: int = 1
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0:
@@ -146,6 +164,12 @@ class DetectorConfig:
             raise ValueError("lof_threshold must be positive")
         if not 0 < self.vote_fraction < 1:
             raise ValueError("vote_fraction must lie in (0, 1)")
+        if not 0.0 <= self.gate_min_landmark_fraction <= 1.0:
+            raise ValueError("gate_min_landmark_fraction must lie in [0, 1]")
+        if not 0.0 <= self.gate_max_frozen_fraction <= 1.0:
+            raise ValueError("gate_max_frozen_fraction must lie in [0, 1]")
+        if self.gate_min_transmitted_changes < 0:
+            raise ValueError("gate_min_transmitted_changes must be >= 0")
 
     @property
     def samples_per_clip(self) -> int:

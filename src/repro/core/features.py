@@ -141,12 +141,26 @@ def features_from_signals(
     # be matched even for a live face, so they are excluded from N and M.
     guard = config.boundary_guard_s
     clip_end = (pre_t.raw.size - 1) / config.sample_rate_hz
-    t_times = pre_t.peak_times
-    r_times = pre_r.peak_times
-    t_times = t_times[t_times <= clip_end - guard]
-    r_times = r_times[r_times >= guard]
+    t_all = pre_t.peak_times
+    r_all = pre_r.peak_times
+    t_keep = np.nonzero(t_all <= clip_end - guard)[0]
+    r_keep = np.nonzero(r_all >= guard)[0]
+    t_times = t_all[t_keep]
+    r_times = r_all[r_keep]
 
     matches = match_changes(t_times, r_times, tolerance_s=config.match_tolerance_s)
+    # The matcher indexes the guard-trimmed arrays; remap to the untrimmed
+    # peak lists so ChangeMatch honours its documented contract
+    # ("index into the transmitted/received change list") even when the
+    # guard dropped leading or trailing peaks.
+    matches = [
+        ChangeMatch(
+            transmitted_index=int(t_keep[m.transmitted_index]),
+            received_index=int(r_keep[m.received_index]),
+            time_difference_s=m.time_difference_s,
+        )
+        for m in matches
+    ]
     n = t_times.size
     m = r_times.size
     z1 = len(matches) / n if n > 0 else 0.0

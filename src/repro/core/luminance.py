@@ -93,7 +93,10 @@ def received_luminance_signal(
     if not valid.any():
         return ReceivedSignal(luminance=luminance, valid=valid)
 
-    # Hold-last fill for the gaps.
+    # Hold-last fill for the gaps; leading misses are backfilled with the
+    # first valid value (never a hard 0.0, which would inject a phantom
+    # luminance step at clip start).  StreamingVerifier._push_received
+    # mirrors this exact concealment policy sample by sample.
     first_valid = int(np.argmax(valid))
     luminance[:first_valid] = luminance[first_valid]
     last = luminance[first_valid]

@@ -31,6 +31,12 @@ class ChangeMatch:
     received_index: int  # index into the received change list
     time_difference_s: float  # received time minus transmitted time
 
+    # The indices refer to whatever arrays were handed to
+    # :func:`match_changes`.  Callers that match over a *filtered* view
+    # (e.g. the boundary-guard trim in ``features_from_signals``) must
+    # remap the indices back to the unfiltered lists before exposing the
+    # matches, so the contract above holds for downstream consumers.
+
 
 def match_changes(
     transmitted_times: np.ndarray,

@@ -96,17 +96,17 @@ def moving_variance(signal: np.ndarray, window: int) -> np.ndarray:
         raise ValueError("window must be >= 1")
     if x.size == 0:
         return x.copy()
-    # Cumulative-sum sliding variance: var = E[x^2] - E[x]^2.
-    out = np.empty_like(x)
+    # Cumulative-sum sliding variance: var = E[x^2] - E[x]^2, evaluated
+    # for all windows at once by slicing the prefix sums (bit-identical
+    # to the per-sample loop it replaced: same operations per element).
     csum = np.concatenate(([0.0], np.cumsum(x)))
     csum2 = np.concatenate(([0.0], np.cumsum(x * x)))
-    for i in range(x.size):
-        lo = max(0, i - window + 1)
-        n = i - lo + 1
-        mean = (csum[i + 1] - csum[lo]) / n
-        mean2 = (csum2[i + 1] - csum2[lo]) / n
-        out[i] = max(mean2 - mean * mean, 0.0)
-    return out
+    idx = np.arange(x.size)
+    lo = np.maximum(idx - window + 1, 0)
+    n = idx - lo + 1
+    mean = (csum[idx + 1] - csum[lo]) / n
+    mean2 = (csum2[idx + 1] - csum2[lo]) / n
+    return np.maximum(mean2 - mean * mean, 0.0)
 
 
 def threshold_filter(signal: np.ndarray, cutoff: float) -> np.ndarray:
@@ -127,12 +127,10 @@ def moving_rms(signal: np.ndarray, window: int) -> np.ndarray:
         return x.copy()
     csum2 = np.concatenate(([0.0], np.cumsum(x * x)))
     half = window // 2
-    out = np.empty_like(x)
-    for i in range(x.size):
-        lo = max(0, i - half)
-        hi = min(x.size, i + window - half)
-        out[i] = np.sqrt((csum2[hi] - csum2[lo]) / (hi - lo))
-    return out
+    idx = np.arange(x.size)
+    lo = np.maximum(idx - half, 0)
+    hi = np.minimum(idx + window - half, x.size)
+    return np.sqrt((csum2[hi] - csum2[lo]) / (hi - lo))
 
 
 def savgol_coefficients(window: int, polyorder: int) -> np.ndarray:

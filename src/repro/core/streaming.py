@@ -13,9 +13,22 @@ attacker, an alert will be sent").
 * ``push(transmitted_frame, received_frame)`` — feed the verifier each
   tick's pair of frames (what Alice's app already has in hand).
 * every ``clip_duration_s`` worth of samples, a single-clip detection
-  runs and joins the rolling vote window;
+  runs, is **quality-gated**, and joins the rolling vote window;
 * ``state`` summarizes the call so far; ``on_alert`` fires once, the
   first time the vote crosses the attacker line.
+
+Quality gating
+--------------
+A live call rides a lossy channel: packet-loss bursts freeze the received
+video, landmark dropout blinds the ROI probe, jitter spikes starve the
+playout.  A clip degraded that way carries the *channel's* behaviour, not
+the peer's — classifying it anyway would condemn a live user (or mask an
+attacker who suppresses the channel).  Each completed clip is therefore
+scored (:class:`ClipQuality`: landmark-hit fraction, frozen-sample
+fraction, challenge/change counts) against the ``gate_*`` thresholds on
+:class:`~repro.core.config.DetectorConfig`; failing clips become
+``INCONCLUSIVE`` attempts that are excluded from the
+:class:`~repro.core.voting.VotingCombiner` denominator entirely.
 """
 
 from __future__ import annotations
@@ -36,7 +49,15 @@ from .pipeline import VerificationReport
 from .roi import nasal_bridge_roi
 from .voting import Verdict, VotingCombiner
 
-__all__ = ["CallStatus", "StreamingState", "StreamingVerifier"]
+__all__ = [
+    "AttemptVerdict",
+    "CallStatus",
+    "ClipQuality",
+    "GatedAttempt",
+    "QualityIssue",
+    "StreamingState",
+    "StreamingVerifier",
+]
 
 
 class CallStatus(enum.Enum):
@@ -46,6 +67,93 @@ class CallStatus(enum.Enum):
     LIVE = "live"  # attempts so far accept the peer
     SUSPICIOUS = "suspicious"  # rejections present but below the vote line
     ATTACKER = "attacker"  # voting rule crossed; alert raised
+    INCONCLUSIVE = "inconclusive"  # attempts exist but none carried evidence
+
+
+class AttemptVerdict(enum.Enum):
+    """Per-clip outcome after quality gating."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    INCONCLUSIVE = "inconclusive"
+
+
+class QualityIssue(enum.Enum):
+    """Reasons a clip's attempt is graded inconclusive."""
+
+    LOW_LANDMARK_COVERAGE = "too few received samples had a usable landmark fix"
+    FROZEN_SIGNAL = "too many received samples were loss-concealed (frozen)"
+    NO_CHALLENGES = "transmitted clip carried no significant luminance changes"
+    CHALLENGE_OBSCURED = "a challenge's response window was almost entirely stale"
+    SPURIOUS_RECEIVED_CHANGE = "an unmatched received change sits on stale samples"
+
+
+# A transmitted challenge is unobservable when the received samples
+# around its expected response are mostly stale.  The matcher needs the
+# majority of the ±match_tolerance window live to see the response (the
+# smoothing chain spreads response energy over seconds, so small holes
+# heal): empirically, in-guard challenges that go unmatched under channel
+# faults sit at window-stale fractions >= ~0.6 while clean-channel clips
+# stay below ~0.05, so 0.5 gates every channel-explained miss with margin
+# on both sides — toward "inconclusive", the safe direction.
+_OBSCURED_STALE_FRACTION = 0.5
+# An unmatched received change is suspect when a non-trivial fraction of
+# the samples just before it are stale: freeze/unfreeze boundaries step
+# the held luminance back to live, which manufactures exactly such a
+# change, and the smoothing chain places the resulting signal peak about
+# a second *after* the raw jump — so the window looks mostly backward.
+# Isolated single-tick concealments (clean-channel jitter) stay below it.
+_SPURIOUS_STALE_FRACTION = 0.2
+_SPURIOUS_WINDOW_BACK_S = 1.5
+_SPURIOUS_WINDOW_FWD_S = 0.5
+
+
+def _window_stale_fraction(
+    stale: np.ndarray, lo_s: float, hi_s: float, rate: float
+) -> float:
+    """Fraction of stale samples inside the [lo_s, hi_s] time window."""
+    lo = max(0, int(np.floor(lo_s * rate)))
+    hi = min(stale.size, int(np.ceil(hi_s * rate)) + 1)
+    if hi <= lo:
+        return 0.0
+    return float(stale[lo:hi].mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class ClipQuality:
+    """Evidential quality of one streaming clip."""
+
+    landmark_hit_fraction: float
+    frozen_fraction: float
+    transmitted_changes: int
+    received_changes: int
+    issues: tuple[QualityIssue, ...] = ()
+    #: Fraction of samples that carried no live measurement at all —
+    #: frozen/concealed frames *or* landmark misses (the union, not the
+    #: sum of the two fractions above).
+    stale_fraction: float = 0.0
+
+    @property
+    def conclusive(self) -> bool:
+        return not self.issues
+
+
+@dataclasses.dataclass(frozen=True)
+class GatedAttempt:
+    """One detection attempt plus its quality grade."""
+
+    result: DetectionResult
+    quality: ClipQuality
+
+    @property
+    def conclusive(self) -> bool:
+        return self.quality.conclusive
+
+    @property
+    def verdict(self) -> AttemptVerdict:
+        if not self.quality.conclusive:
+            return AttemptVerdict.INCONCLUSIVE
+        return AttemptVerdict.REJECT if self.result.rejected else AttemptVerdict.ACCEPT
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,10 +164,16 @@ class StreamingState:
     samples_buffered: int
     attempts: tuple[DetectionResult, ...]
     verdict: Verdict | None
+    qualities: tuple[ClipQuality, ...] = ()
+    inconclusive_attempts: int = 0
 
     @property
     def attempt_count(self) -> int:
         return len(self.attempts)
+
+    @property
+    def conclusive_attempts(self) -> int:
+        return len(self.attempts) - self.inconclusive_attempts
 
     @property
     def report(self) -> VerificationReport:
@@ -79,7 +193,9 @@ class StreamingVerifier:
         Shared landmark detector for the received frames.
     vote_window:
         Number of most recent attempts entering the majority vote
-        (``None`` = all attempts since the call began).
+        (``None`` = all attempts since the call began).  Inconclusive
+        attempts occupy window slots (they are real clock time) but never
+        vote.
     on_alert:
         Callback invoked exactly once when the status first becomes
         :attr:`CallStatus.ATTACKER`; receives the final state.
@@ -105,55 +221,171 @@ class StreamingVerifier:
 
         self._t_samples: list[float] = []
         self._r_samples: list[float] = []
+        self._stale_flags: list[bool] = []  # frozen frame OR landmark miss
         self._last_roi_value: float | None = None
-        self._attempts: list[DetectionResult] = []
+        self._lead_misses = 0  # samples concealed before the first valid ROI
+        self._clip_hits = 0
+        self._clip_frozen = 0
+        self._attempts: list[GatedAttempt] = []
         self._alerted = False
 
     # ------------------------------------------------------------------
 
-    def push(self, transmitted: Frame, received: Frame) -> DetectionResult | None:
-        """Feed one tick's frame pair; returns a fresh attempt when one
-        completed on this tick, else ``None``.
+    def push(self, transmitted: Frame, received: Frame) -> GatedAttempt | None:
+        """Feed one tick's frame pair; returns the fresh gated attempt
+        when one completed on this tick, else ``None``.
 
         Frames are expected at the detector's sampling rate (the
         application samples its capture/playout streams at 10 Hz).
         """
         self._t_samples.append(frame_mean_luminance(transmitted))
-        self._r_samples.append(self._extract_roi(received))
+        self._push_received(received)
         if len(self._t_samples) < self.config.samples_per_clip:
             return None
         return self._complete_attempt()
 
-    def _extract_roi(self, received: Frame) -> float:
+    def _push_received(self, received: Frame) -> None:
+        # Loss concealment upstream marks held/synthesized frames; a clip
+        # dominated by them measures the channel, not the peer.
+        frozen = bool(
+            received.metadata.get("fresh") is False or received.metadata.get("concealed")
+        )
+        if frozen:
+            self._clip_frozen += 1
         landmarks = self.landmark_detector.detect(received.pixels)
         value = None
         if landmarks is not None:
             value = roi_mean_luminance(received, nasal_bridge_roi(landmarks))
-        if value is None:
+        # A sample is stale when it carries no live measurement — the
+        # frame is a frozen repeat, or the tracker had no fix and the
+        # signal holds its last value either way.
+        self._stale_flags.append(frozen or value is None)
+        if value is not None:
+            self._clip_hits += 1
+            if self._lead_misses:
+                # Backfill leading misses with the first valid ROI value.
+                # A hard 0.0 placeholder would survive as a phantom
+                # luminance step — a fake "significant change" at clip
+                # start — exactly what the batch extractor's leading-gap
+                # backfill prevents.
+                for i in range(1, self._lead_misses + 1):
+                    self._r_samples[-i] = value
+                self._lead_misses = 0
+            self._last_roi_value = value
+            self._r_samples.append(value)
+            return
+        if self._last_roi_value is None:
+            # No valid ROI seen yet this call: placeholder, rewritten by
+            # the first hit.  An all-miss clip stays flat at zero — no
+            # phantom change, and the quality gate marks it inconclusive.
+            self._r_samples.append(0.0)
+            self._lead_misses += 1
+        else:
             # Hold-last concealment, mirroring the batch extractor.
-            value = self._last_roi_value if self._last_roi_value is not None else 0.0
-        self._last_roi_value = value
-        return value
+            self._r_samples.append(self._last_roi_value)
 
-    def _complete_attempt(self) -> DetectionResult:
+    def _complete_attempt(self) -> GatedAttempt:
         t_lum = np.array(self._t_samples)
         r_lum = np.array(self._r_samples)
+        stale = np.array(self._stale_flags, dtype=bool)
+        samples = len(self._t_samples)
+        hits = self._clip_hits
+        frozen = self._clip_frozen
         self._t_samples.clear()
         self._r_samples.clear()
+        self._stale_flags.clear()
+        self._lead_misses = 0
+        self._clip_hits = 0
+        self._clip_frozen = 0
         result = self.detector.verify_clip(t_lum, r_lum)
-        self._attempts.append(result)
+        attempt = GatedAttempt(
+            result=result,
+            quality=self._grade(
+                result, hits=hits, frozen=frozen, samples=samples, stale=stale
+            ),
+        )
+        self._attempts.append(attempt)
         if self.on_alert is not None and not self._alerted:
             state = self.state
             if state.status is CallStatus.ATTACKER:
                 self._alerted = True
                 self.on_alert(state)
-        return result
+        return attempt
+
+    def _grade(
+        self,
+        result: DetectionResult,
+        hits: int,
+        frozen: int,
+        samples: int,
+        stale: np.ndarray,
+    ) -> ClipQuality:
+        """Score the clip's evidence against the config's gate thresholds."""
+        config = self.config
+        hit_fraction = hits / samples if samples else 0.0
+        frozen_fraction = frozen / samples if samples else 0.0
+        stale_fraction = float(stale.mean()) if stale.size else 0.0
+        extraction = result.extraction
+        t_changes = extraction.transmitted.change_count if extraction else 0
+        r_changes = extraction.received.change_count if extraction else 0
+        issues: list[QualityIssue] = []
+        if hit_fraction < config.gate_min_landmark_fraction:
+            issues.append(QualityIssue.LOW_LANDMARK_COVERAGE)
+        if frozen_fraction > config.gate_max_frozen_fraction:
+            issues.append(QualityIssue.FROZEN_SIGNAL)
+        if t_changes < config.gate_min_transmitted_changes:
+            issues.append(QualityIssue.NO_CHALLENGES)
+        issues.extend(self._stale_peak_issues(extraction, stale, samples))
+        return ClipQuality(
+            landmark_hit_fraction=hit_fraction,
+            frozen_fraction=frozen_fraction,
+            transmitted_changes=t_changes,
+            received_changes=r_changes,
+            issues=tuple(issues),
+            stale_fraction=stale_fraction,
+        )
+
+    def _stale_peak_issues(
+        self, extraction, stale: np.ndarray, samples: int
+    ) -> list[QualityIssue]:
+        """Per-change staleness checks: was each challenge observable, and
+        is each unmatched received change explainable by the channel?
+
+        Only the peaks inside the boundary guard are considered — the
+        same population the z1/z2 denominators count.
+        """
+        if extraction is None or not stale.size or not stale.any():
+            return []
+        config = self.config
+        rate = config.sample_rate_hz
+        tol = config.match_tolerance_s
+        guard = config.boundary_guard_s
+        clip_end = (samples - 1) / rate
+        issues: list[QualityIssue] = []
+        for tp in extraction.transmitted.peak_times:
+            if tp > clip_end - guard:
+                continue
+            frac = _window_stale_fraction(stale, tp - tol, tp + tol, rate)
+            if frac >= _OBSCURED_STALE_FRACTION:
+                issues.append(QualityIssue.CHALLENGE_OBSCURED)
+                break
+        matched_r = {match.received_index for match in extraction.matches}
+        for i, rp in enumerate(extraction.received.peak_times):
+            if i in matched_r or rp < guard:
+                continue
+            frac = _window_stale_fraction(
+                stale, rp - _SPURIOUS_WINDOW_BACK_S, rp + _SPURIOUS_WINDOW_FWD_S, rate
+            )
+            if frac >= _SPURIOUS_STALE_FRACTION:
+                issues.append(QualityIssue.SPURIOUS_RECEIVED_CHANGE)
+                break
+        return issues
 
     # ------------------------------------------------------------------
 
     @property
     def state(self) -> StreamingState:
-        """Current rolling judgement."""
+        """Current rolling judgement (vote over conclusive attempts only)."""
         attempts = self._attempts
         if self.vote_window is not None:
             attempts = attempts[-self.vote_window :]
@@ -164,8 +396,12 @@ class StreamingVerifier:
                 attempts=(),
                 verdict=None,
             )
-        verdict = self.combiner.combine(attempts)
-        if verdict.is_attacker:
+        verdict = self.combiner.combine_conclusive(
+            [a.result for a in attempts], [a.conclusive for a in attempts]
+        )
+        if verdict is None:
+            status = CallStatus.INCONCLUSIVE
+        elif verdict.is_attacker:
             status = CallStatus.ATTACKER
         elif verdict.reject_votes > 0:
             status = CallStatus.SUSPICIOUS
@@ -174,19 +410,30 @@ class StreamingVerifier:
         return StreamingState(
             status=status,
             samples_buffered=len(self._t_samples),
-            attempts=tuple(attempts),
+            attempts=tuple(a.result for a in attempts),
             verdict=verdict,
+            qualities=tuple(a.quality for a in attempts),
+            inconclusive_attempts=sum(1 for a in attempts if not a.conclusive),
         )
 
     @property
     def all_attempts(self) -> tuple[DetectionResult, ...]:
         """Every attempt since the call began (ignores the vote window)."""
+        return tuple(a.result for a in self._attempts)
+
+    @property
+    def gated_attempts(self) -> tuple[GatedAttempt, ...]:
+        """Every gated attempt since the call began, with its quality."""
         return tuple(self._attempts)
 
     def reset(self) -> None:
         """Forget all evidence (a new call with the same enrollment)."""
         self._t_samples.clear()
         self._r_samples.clear()
+        self._stale_flags.clear()
         self._last_roi_value = None
+        self._lead_misses = 0
+        self._clip_hits = 0
+        self._clip_frozen = 0
         self._attempts.clear()
         self._alerted = False

@@ -53,6 +53,27 @@ class VotingCombiner:
             vote_fraction=self.vote_fraction,
         )
 
+    def combine_conclusive(
+        self,
+        results: Sequence[DetectionResult],
+        conclusive: Sequence[bool],
+    ) -> Verdict | None:
+        """Vote over the conclusive attempts only.
+
+        Quality-gated verification grades each attempt's evidence before
+        it may vote; inconclusive attempts (degraded clips: landmark
+        dropout, loss-frozen signal, no challenges) are excluded from the
+        denominator ``D`` entirely, instead of counting as accepts or
+        rejects.  Returns ``None`` when no attempt is conclusive — the
+        honest "cannot judge yet" outcome.
+        """
+        if len(results) != len(conclusive):
+            raise ValueError("results and conclusive must have equal length")
+        kept = [r for r, ok in zip(results, conclusive) if ok]
+        if not kept:
+            return None
+        return self.combine(kept)
+
     def combine_bools(self, rejections: Sequence[bool]) -> Verdict:
         """Same rule over raw per-attempt rejection booleans."""
         if not rejections:

@@ -124,6 +124,11 @@ class ExecutionEngine(AbstractContextManager):
         """Context manager timing an in-process stage (e.g. aggregation)."""
         return self._recorder.stage(name, tasks=tasks)
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named event counter in the perf report (e.g. the
+        streaming quality gate's ``clips_inconclusive``)."""
+        self._recorder.count(name, n)
+
     # ------------------------------------------------------------------
     # Cached feature extraction
     # ------------------------------------------------------------------

@@ -44,6 +44,9 @@ class PerfReport:
     cache_hits: int
     cache_misses: int
     tasks_completed: int
+    #: Named event counters reported by the pipelines that ran under the
+    #: engine (e.g. the streaming quality gate's ``clips_inconclusive``).
+    counters: dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def cache_lookups(self) -> int:
@@ -79,6 +82,8 @@ class PerfReport:
             f"total: {self.tasks_completed} tasks in {self.wall_s:.3f}s "
             f"({self.tasks_per_sec:.1f} tasks/s)"
         )
+        for name in sorted(self.counters):
+            out.append(f"{name}: {self.counters[name]}")
         return out
 
     def __str__(self) -> str:
@@ -105,11 +110,17 @@ class PerfRecorder:
         self._stages: dict[str, _StageCounters] = {}
         self._started = time.perf_counter()
         self._tasks_completed = 0
+        self._counters: dict[str, int] = {}
 
     def reset(self) -> None:
         self._stages.clear()
         self._started = time.perf_counter()
         self._tasks_completed = 0
+        self._counters.clear()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named event counter (surfaced in the report)."""
+        self._counters[name] = self._counters.get(name, 0) + n
 
     @contextlib.contextmanager
     def stage(self, name: str, tasks: int = 0) -> Iterator[None]:
@@ -141,4 +152,5 @@ class PerfRecorder:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             tasks_completed=self._tasks_completed,
+            counters=dict(self._counters),
         )

@@ -1,0 +1,211 @@
+"""Seeded, deterministic fault schedules for the live-call path.
+
+Real conferencing channels fail in *bursts*, not i.i.d. drizzle: routers
+queue and then dump (Gilbert–Elliott loss), wireless links jitter in
+spikes, face trackers lose the face for whole windows, receivers freeze
+frames, and endpoint clocks drift.  A :class:`FaultSpec` names the
+severity of each of these modes; :meth:`FaultSpec.schedule` compiles it
+into a :class:`FaultSchedule` — plain per-tick arrays, fully determined
+by ``(spec, duration, tick rate, seed)`` — that the injection layer
+(:mod:`repro.faults.injector`) replays against the network stack and the
+recorded session without touching either one's happy path.
+
+Because the schedule is data, the same fault pattern can be replayed
+against different configurations (the apples-to-apples requirement of
+robustness ablations) and two runs with equal seeds are bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultSchedule"]
+
+
+def _markov_windows(
+    ticks: int,
+    occupancy: float,
+    mean_len_ticks: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Two-state (Gilbert–Elliott) on/off chain as a boolean tick array.
+
+    ``occupancy`` is the stationary fraction of ticks spent in the "on"
+    (faulty) state; ``mean_len_ticks`` the mean length of an "on" burst.
+    The chain's exit probability is ``1/mean_len`` and the entry
+    probability follows from the stationary balance
+    ``p_enter = p_exit * occupancy / (1 - occupancy)``.
+    """
+    if ticks <= 0:
+        return np.zeros(0, dtype=bool)
+    if occupancy <= 0.0:
+        return np.zeros(ticks, dtype=bool)
+    if occupancy >= 1.0:
+        return np.ones(ticks, dtype=bool)
+    p_exit = min(1.0, 1.0 / max(mean_len_ticks, 1.0))
+    p_enter = min(1.0, p_exit * occupancy / (1.0 - occupancy))
+    draws = rng.random(ticks)
+    out = np.zeros(ticks, dtype=bool)
+    state = bool(draws[0] < occupancy)  # start from the stationary law
+    out[0] = state
+    for i in range(1, ticks):
+        if state:
+            state = not (draws[i] < p_exit)
+        else:
+            state = draws[i] < p_enter
+        out[i] = state
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """Severity knobs for one fault profile (all rates are per-call
+    stationary tick fractions; ``scaled`` multiplies them by a severity).
+
+    Attributes
+    ----------
+    loss_burst_rate:
+        Fraction of ticks inside a Gilbert–Elliott bad state, during
+        which every packet of the tick is dropped.
+    mean_burst_s:
+        Mean length of one loss burst.
+    jitter_spike_rate:
+        Fraction of ticks inside a jitter spike window.
+    jitter_spike_s:
+        Mean extra one-way delay added to packets sent during a spike.
+    landmark_dropout_rate:
+        Fraction of ticks whose received frame carries no detectable
+        face (tracker dropout, occlusion, re-encode artifacts).
+    mean_dropout_s:
+        Mean length of one landmark-dropout window.
+    freeze_rate:
+        Fraction of ticks whose received frame is a stale repeat
+        (receiver-side frame freeze independent of channel loss).
+    mean_freeze_s:
+        Mean length of one freeze window.
+    clock_skew:
+        Relative receiver-clock drift applied to packet arrival times
+        (0.01 = arrivals stretch 1 % late over the call).
+    """
+
+    loss_burst_rate: float = 0.0
+    mean_burst_s: float = 0.8
+    jitter_spike_rate: float = 0.0
+    jitter_spike_s: float = 0.15
+    landmark_dropout_rate: float = 0.0
+    mean_dropout_s: float = 1.0
+    freeze_rate: float = 0.0
+    mean_freeze_s: float = 0.5
+    clock_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_burst_rate", "jitter_spike_rate",
+                     "landmark_dropout_rate", "freeze_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        for name in ("mean_burst_s", "jitter_spike_s", "mean_dropout_s",
+                     "mean_freeze_s"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.clock_skew < -0.5 or self.clock_skew > 0.5:
+            raise ValueError("clock_skew must lie in [-0.5, 0.5]")
+
+    def scaled(self, severity: float) -> "FaultSpec":
+        """This profile with every rate (and the skew) scaled by
+        ``severity`` in [0, 1+]; burst/window lengths are kept."""
+        if severity < 0.0:
+            raise ValueError("severity must be non-negative")
+        return dataclasses.replace(
+            self,
+            loss_burst_rate=min(1.0, self.loss_burst_rate * severity),
+            jitter_spike_rate=min(1.0, self.jitter_spike_rate * severity),
+            landmark_dropout_rate=min(1.0, self.landmark_dropout_rate * severity),
+            freeze_rate=min(1.0, self.freeze_rate * severity),
+            clock_skew=self.clock_skew * severity,
+        )
+
+    def schedule(
+        self,
+        duration_s: float,
+        tick_rate_hz: float,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Compile the profile into a deterministic per-tick schedule."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if tick_rate_hz <= 0:
+            raise ValueError("tick_rate_hz must be positive")
+        ticks = max(1, int(round(duration_s * tick_rate_hz)))
+        rng = np.random.default_rng([seed, 0xFA017])
+        loss = _markov_windows(
+            ticks, self.loss_burst_rate, self.mean_burst_s * tick_rate_hz, rng
+        )
+        spikes = _markov_windows(
+            ticks, self.jitter_spike_rate, self.mean_burst_s * tick_rate_hz, rng
+        )
+        # The extra delay inside a spike window is itself drawn once per
+        # tick at build time so replaying the schedule is pure array
+        # lookup (no runtime randomness to keep in sync).
+        jitter_extra = np.where(
+            spikes, rng.exponential(self.jitter_spike_s, size=ticks), 0.0
+        )
+        dropout = _markov_windows(
+            ticks, self.landmark_dropout_rate, self.mean_dropout_s * tick_rate_hz, rng
+        )
+        freeze = _markov_windows(
+            ticks, self.freeze_rate, self.mean_freeze_s * tick_rate_hz, rng
+        )
+        return FaultSchedule(
+            spec=self,
+            tick_rate_hz=float(tick_rate_hz),
+            loss_burst=loss,
+            jitter_extra_s=jitter_extra,
+            landmark_dropout=dropout,
+            freeze=freeze,
+            clock_skew=float(self.clock_skew),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """A compiled fault timeline: one entry per simulation tick."""
+
+    spec: FaultSpec
+    tick_rate_hz: float
+    loss_burst: np.ndarray  # bool per tick: drop all packets sent this tick
+    jitter_extra_s: np.ndarray  # float per tick: extra one-way delay
+    landmark_dropout: np.ndarray  # bool per tick: face undetectable
+    freeze: np.ndarray  # bool per tick: received frame is a stale repeat
+    clock_skew: float
+
+    def __post_init__(self) -> None:
+        n = self.loss_burst.size
+        for name in ("jitter_extra_s", "landmark_dropout", "freeze"):
+            if getattr(self, name).size != n:
+                raise ValueError("all schedule arrays must share one length")
+
+    @property
+    def ticks(self) -> int:
+        return int(self.loss_burst.size)
+
+    @property
+    def duration_s(self) -> float:
+        return self.ticks / self.tick_rate_hz
+
+    def tick_of(self, t: float) -> int:
+        """Tick index covering time ``t`` (clamped to the schedule)."""
+        idx = int(t * self.tick_rate_hz)
+        return min(max(idx, 0), self.ticks - 1)
+
+    def summary(self) -> dict[str, float]:
+        """Stationary fault fractions actually realized by the draw."""
+        return {
+            "loss_burst_fraction": float(self.loss_burst.mean()),
+            "jitter_spike_fraction": float((self.jitter_extra_s > 0).mean()),
+            "landmark_dropout_fraction": float(self.landmark_dropout.mean()),
+            "freeze_fraction": float(self.freeze.mean()),
+            "clock_skew": self.clock_skew,
+        }

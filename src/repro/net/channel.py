@@ -78,10 +78,16 @@ class NetworkChannel:
         """Send one packet; ``None`` when the packet is lost."""
         self.stats.sent += 1
         self.stats.bytes_sent += packet.size_bytes
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+        # Every packet consumes exactly one loss draw and one jitter draw,
+        # even when the corresponding knob is disabled (loss_rate 0 never
+        # drops because random() < 0 is false; exponential scale 0 is 0).
+        # Toggling one knob therefore never reshuffles the other's seeded
+        # sequence — the property fault ablations compare runs under.
+        loss_draw = self._rng.random()
+        jitter = float(self._rng.exponential(self.jitter_s))
+        if loss_draw < self.loss_rate:
             self.stats.lost += 1
             return None
-        jitter = float(self._rng.exponential(self.jitter_s)) if self.jitter_s > 0 else 0.0
         return DeliveredPacket(
             packet=packet,
             arrival_time=packet.send_time + self.base_delay_s + jitter,

@@ -135,6 +135,44 @@ class TestDegenerateInputs:
         assert isinstance(fx.features, FeatureVector)
 
 
+class TestMatchIndexContract:
+    def test_matches_index_the_untrimmed_peak_lists(self, step_signal, config):
+        """Regression: match_changes runs on guard-trimmed peak arrays;
+        the returned ChangeMatch indices must be remapped to the full
+        (untrimmed) change lists, or a trimmed leading received peak
+        shifts every received_index off by one."""
+        rng = np.random.default_rng(13)
+        delayed = np.concatenate([np.full(4, step_signal[0]), step_signal[:-4]])
+        received = 120.0 + 0.3 * delayed + rng.normal(0.0, 0.4, delayed.size)
+        # A pre-clip challenge's reflection: a step at 1.4 s, inside the
+        # 2 s start guard, so the matcher never sees this peak.
+        received[:14] -= 30.0
+        fx = extract_features(step_signal, received, config)
+        r_times = fx.received.peak_times
+        t_times = fx.transmitted.peak_times
+        assert r_times.size == 3
+        assert r_times[0] < config.boundary_guard_s  # the trimmed peak
+        assert len(fx.matches) == 2
+        for m in fx.matches:
+            assert 0 <= m.transmitted_index < t_times.size
+            assert 0 < m.received_index < r_times.size  # never the trimmed one
+            gap = abs(
+                t_times[m.transmitted_index] - r_times[m.received_index]
+            )
+            assert gap <= config.match_tolerance_s
+
+    def test_matched_pair_times_reproduce_time_difference(
+        self, step_signal, reflected_signal, config
+    ):
+        fx = extract_features(step_signal, reflected_signal, config)
+        for m in fx.matches:
+            gap = (
+                fx.received.peak_times[m.received_index]
+                - fx.transmitted.peak_times[m.transmitted_index]
+            )
+            assert gap == pytest.approx(m.time_difference_s)
+
+
 class TestBoundaryGuard:
     def test_change_near_clip_end_not_counted(self, config):
         # One challenge well inside, one inside the end guard window.

@@ -88,6 +88,51 @@ class TestMovingVariance:
         assert (moving_variance(x, 10) >= 0).all()
 
 
+class TestVectorizedBitIdentity:
+    """The cumsum-sliced moving_variance/moving_rms must be bit-identical
+    (==, not allclose) to the per-sample loop they replaced."""
+
+    @staticmethod
+    def _loop_variance(x, window):
+        csum = np.concatenate(([0.0], np.cumsum(x)))
+        csum2 = np.concatenate(([0.0], np.cumsum(x * x)))
+        out = np.empty_like(x)
+        for i in range(x.size):
+            lo = max(i - window + 1, 0)
+            n = i - lo + 1
+            mean = (csum[i + 1] - csum[lo]) / n
+            mean2 = (csum2[i + 1] - csum2[lo]) / n
+            out[i] = max(mean2 - mean * mean, 0.0)
+        return out
+
+    @staticmethod
+    def _loop_rms(x, window):
+        csum2 = np.concatenate(([0.0], np.cumsum(x * x)))
+        half = window // 2
+        out = np.empty_like(x)
+        for i in range(x.size):
+            lo = max(i - half, 0)
+            hi = min(i + window - half, x.size)
+            out[i] = np.sqrt((csum2[hi] - csum2[lo]) / (hi - lo))
+        return out
+
+    @pytest.mark.parametrize("window", [1, 3, 10, 30, 200])
+    def test_variance_matches_loop_exactly(self, window):
+        rng = np.random.default_rng(4)
+        x = rng.normal(120.0, 15.0, 150)
+        assert (moving_variance(x, window) == self._loop_variance(x, window)).all()
+
+    @pytest.mark.parametrize("window", [1, 3, 10, 30, 200])
+    def test_rms_matches_loop_exactly(self, window):
+        rng = np.random.default_rng(5)
+        x = np.abs(rng.normal(0.0, 2.0, 150))
+        assert (moving_rms(x, window) == self._loop_rms(x, window)).all()
+
+    def test_empty_signal_round_trips(self):
+        assert moving_variance(np.array([]), 10).size == 0
+        assert moving_rms(np.array([]), 10).size == 0
+
+
 class TestThresholdFilter:
     def test_zeroes_below_cutoff(self):
         x = np.array([0.5, 2.0, 1.9, 3.0])

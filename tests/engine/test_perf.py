@@ -77,3 +77,39 @@ class TestReport:
         assert "features" in text
         assert "7 hits / 3 misses" in text
         assert "70.0% hit rate" in text
+
+
+class TestCounters:
+    def test_count_accumulates_and_snapshots(self):
+        rec = PerfRecorder()
+        rec.count("clips_total", 3)
+        rec.count("clips_total")
+        rec.count("clips_inconclusive", 2)
+        report = _snapshot(rec)
+        assert report.counters == {"clips_total": 4, "clips_inconclusive": 2}
+
+    def test_counters_render_in_lines(self):
+        rec = PerfRecorder()
+        rec.count("fault_sessions", 8)
+        assert any("fault_sessions: 8" in line for line in _snapshot(rec).lines())
+
+    def test_snapshot_counters_are_a_copy(self):
+        rec = PerfRecorder()
+        rec.count("x")
+        report = _snapshot(rec)
+        rec.count("x")
+        assert report.counters["x"] == 1
+
+    def test_reset_clears_counters(self):
+        rec = PerfRecorder()
+        rec.count("x", 5)
+        rec.reset()
+        assert _snapshot(rec).counters == {}
+
+    def test_engine_count_passthrough(self):
+        from repro.engine import ExecutionEngine
+
+        with ExecutionEngine(jobs=1) as engine:
+            engine.count("clips_total", 2)
+            report = engine.perf_report()
+        assert report.counters["clips_total"] == 2

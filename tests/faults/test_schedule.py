@@ -1,0 +1,123 @@
+"""Fault schedules: seeded compilation of FaultSpec into tick arrays."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSchedule, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_rates_must_be_fractions(self):
+        with pytest.raises(ValueError):
+            FaultSpec(loss_burst_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(landmark_dropout_rate=-0.1)
+
+    def test_lengths_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultSpec(mean_burst_s=-1.0)
+
+    def test_clock_skew_bounded(self):
+        with pytest.raises(ValueError):
+            FaultSpec(clock_skew=0.9)
+
+    def test_schedule_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            FaultSpec().schedule(0.0, 10.0)
+        with pytest.raises(ValueError):
+            FaultSpec().schedule(10.0, 0.0)
+
+
+class TestScaled:
+    def test_severity_zero_clears_every_rate(self):
+        spec = FaultSpec(
+            loss_burst_rate=0.3,
+            jitter_spike_rate=0.2,
+            landmark_dropout_rate=0.5,
+            freeze_rate=0.4,
+            clock_skew=0.02,
+        ).scaled(0.0)
+        assert spec.loss_burst_rate == 0.0
+        assert spec.landmark_dropout_rate == 0.0
+        assert spec.clock_skew == 0.0
+
+    def test_rates_cap_at_one(self):
+        spec = FaultSpec(loss_burst_rate=0.6).scaled(3.0)
+        assert spec.loss_burst_rate == 1.0
+
+    def test_burst_lengths_are_kept(self):
+        spec = FaultSpec(loss_burst_rate=0.1, mean_burst_s=2.5).scaled(0.5)
+        assert spec.mean_burst_s == 2.5
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec().scaled(-1.0)
+
+
+class TestScheduleCompilation:
+    def test_same_seed_is_bit_identical(self):
+        spec = FaultSpec(
+            loss_burst_rate=0.2, jitter_spike_rate=0.3, landmark_dropout_rate=0.4
+        )
+        a = spec.schedule(30.0, 10.0, seed=5)
+        b = spec.schedule(30.0, 10.0, seed=5)
+        assert np.array_equal(a.loss_burst, b.loss_burst)
+        assert np.array_equal(a.jitter_extra_s, b.jitter_extra_s)
+        assert np.array_equal(a.landmark_dropout, b.landmark_dropout)
+        assert np.array_equal(a.freeze, b.freeze)
+
+    def test_different_seed_differs(self):
+        spec = FaultSpec(loss_burst_rate=0.5)
+        a = spec.schedule(60.0, 10.0, seed=1)
+        b = spec.schedule(60.0, 10.0, seed=2)
+        assert not np.array_equal(a.loss_burst, b.loss_burst)
+
+    def test_zero_rates_give_all_clear(self):
+        schedule = FaultSpec().schedule(20.0, 10.0, seed=0)
+        assert not schedule.loss_burst.any()
+        assert not schedule.landmark_dropout.any()
+        assert not schedule.freeze.any()
+        assert (schedule.jitter_extra_s == 0.0).all()
+
+    def test_full_dropout_covers_every_tick(self):
+        schedule = FaultSpec(landmark_dropout_rate=1.0).schedule(20.0, 10.0, seed=0)
+        assert schedule.landmark_dropout.all()
+
+    def test_occupancy_tracks_the_requested_rate(self):
+        spec = FaultSpec(loss_burst_rate=0.3, mean_burst_s=1.0)
+        schedule = spec.schedule(600.0, 10.0, seed=3)
+        assert 0.15 <= schedule.loss_burst.mean() <= 0.45
+
+    def test_faults_come_in_bursts_not_drizzle(self):
+        spec = FaultSpec(loss_burst_rate=0.3, mean_burst_s=2.0)
+        schedule = spec.schedule(600.0, 10.0, seed=3)
+        on = schedule.loss_burst.astype(int)
+        starts = int(((on[1:] == 1) & (on[:-1] == 0)).sum()) + int(on[0])
+        mean_run = on.sum() / max(starts, 1)
+        assert mean_run > 5.0  # 2 s bursts at 10 Hz >> i.i.d.'s ~1.4 ticks
+
+    def test_tick_of_clamps_to_schedule(self):
+        schedule = FaultSpec().schedule(10.0, 10.0, seed=0)
+        assert schedule.tick_of(-5.0) == 0
+        assert schedule.tick_of(99.0) == schedule.ticks - 1
+
+    def test_summary_reports_realized_fractions(self):
+        schedule = FaultSpec(freeze_rate=0.5, clock_skew=0.01).schedule(
+            100.0, 10.0, seed=7
+        )
+        summary = schedule.summary()
+        assert summary["freeze_fraction"] == pytest.approx(schedule.freeze.mean())
+        assert summary["clock_skew"] == 0.01
+
+    def test_mismatched_array_lengths_rejected(self):
+        spec = FaultSpec()
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                spec=spec,
+                tick_rate_hz=10.0,
+                loss_burst=np.zeros(10, dtype=bool),
+                jitter_extra_s=np.zeros(5),
+                landmark_dropout=np.zeros(10, dtype=bool),
+                freeze=np.zeros(10, dtype=bool),
+                clock_skew=0.0,
+            )

@@ -77,6 +77,33 @@ class TestDeterminism:
         assert arrivals_a == arrivals_b
 
 
+class TestDrawAlignment:
+    """transmit() must consume the same RNG draws per packet no matter
+    which knobs are active, so toggling one knob never reshuffles the
+    randomness feeding another."""
+
+    def test_jitter_knob_does_not_change_which_packets_drop(self):
+        packets = _packets(300)
+        no_jitter = NetworkChannel(loss_rate=0.3, jitter_s=0.0, seed=11)
+        jittery = NetworkChannel(loss_rate=0.3, jitter_s=0.05, seed=11)
+        lost_a = {d.packet.sequence for d in no_jitter.transmit_all(packets)}
+        lost_b = {d.packet.sequence for d in jittery.transmit_all(packets)}
+        assert lost_a == lost_b
+
+    def test_loss_knob_does_not_change_arrival_times(self):
+        packets = _packets(300)
+        lossless = NetworkChannel(loss_rate=0.0, jitter_s=0.05, seed=12)
+        lossy = NetworkChannel(loss_rate=0.3, jitter_s=0.05, seed=12)
+        all_arrivals = {
+            d.packet.sequence: d.arrival_time
+            for d in lossless.transmit_all(packets)
+        }
+        delivered = lossy.transmit_all(packets)
+        assert 0 < len(delivered) < len(packets)
+        for d in delivered:
+            assert d.arrival_time == all_arrivals[d.packet.sequence]
+
+
 class TestValidation:
     def test_bad_loss_rate(self):
         with pytest.raises(ValueError):
