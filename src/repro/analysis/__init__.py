@@ -1,0 +1,58 @@
+"""reprolint — an AST-based determinism & contract analyzer for this repo.
+
+The system's headline guarantees (pool==serial bit-identity in the
+execution engine, seeded fault schedules, reproducible z1-z4 features)
+are invariants of *how code is written*, not just of what the tests
+assert: one stray ``np.random.*`` global call, wall-clock read, or
+unpicklable closure handed to the pool silently breaks them.  This
+package is a static pass that catches exactly those defect classes
+before a single frame is simulated:
+
+========  ==========================================================
+R001      unseeded global randomness (np.random.* / random.*)
+R002      wall-clock reads outside ``engine/perf.py``
+R003      unpicklable payloads handed to ``ExecutionEngine.map``
+R004      exact float equality on computed values
+R005      mutable default arguments / dataclass field defaults
+R006      DetectorConfig contract violations (deprecated ``replace``,
+          unknown field names in strings/keywords)
+========  ==========================================================
+
+Run it as ``python -m repro lint [--format json]``; suppress a single
+finding inline with ``# reprolint: disable=R001`` and grandfather
+legacy findings via the checked-in baseline file (see
+:mod:`repro.analysis.baseline`).  How to add a rule is documented in
+:mod:`repro.analysis.rulebase` and DESIGN.md §3d.
+"""
+
+from . import rules  # noqa: F401  (importing registers the rules)
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from .context import ModuleContext
+from .findings import Finding, fingerprint_findings
+from .linter import LintResult, analyze_source, collect_files, lint_paths
+from .reporters import render_json, render_text
+from .rulebase import Rule, registered_rules, rule_metadata
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "analyze_source",
+    "collect_files",
+    "fingerprint_findings",
+    "lint_paths",
+    "load_baseline",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rule_metadata",
+    "split_baselined",
+    "write_baseline",
+]

@@ -1,0 +1,57 @@
+"""Baseline file: grandfathered findings that don't fail the build.
+
+The baseline is a checked-in JSON document listing finding fingerprints
+(see :mod:`.findings`) that existed when the linter was adopted.  A run
+subtracts baselined findings from its result, so ``repro lint`` can be
+a hard gate while legacy debt is paid down incrementally.  This repo's
+baseline is empty — the adoption PR fixed every finding — but the
+mechanism is load-bearing for future rules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["DEFAULT_BASELINE_NAME", "load_baseline", "write_baseline", "split_baselined"]
+
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints recorded in the baseline file."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or document.get("version") != _VERSION:
+        raise ValueError(f"unrecognized baseline format in {path}")
+    entries = document.get("findings", [])
+    return {entry["fingerprint"] for entry in entries}
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Record ``findings`` as the new grandfathered set."""
+    document = {
+        "version": _VERSION,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(findings, key=lambda f: f.sort_key)
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def split_baselined(
+    findings: list[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, grandfathered) by fingerprint."""
+    new = [f for f in findings if f.fingerprint not in baseline]
+    old = [f for f in findings if f.fingerprint in baseline]
+    return new, old

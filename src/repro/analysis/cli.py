@@ -1,0 +1,91 @@
+"""Argument wiring for ``python -m repro lint``.
+
+Kept inside the analysis package so ``repro.cli`` only registers the
+subcommand; everything lint-specific (defaults, exit codes, baseline
+handling) lives next to the code it drives.
+
+Exit codes: 0 = clean (no non-baselined findings), 1 = findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from .linter import lint_paths
+from .reporters import render_json, render_text
+from .rulebase import rule_metadata
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is stable and machine-parseable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME}; ignored when absent)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, including baselined ones",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in rule_metadata():
+            print(f"{rule['id']}  {rule['title']}")
+            print(f"      {rule['rationale']}")
+        return 0
+
+    try:
+        result = lint_paths(args.paths, relative_to=Path.cwd())
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}")
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, result.findings)
+        print(
+            f"reprolint: wrote {len(result.findings)} finding(s) to {args.baseline}"
+        )
+        return 0
+
+    baseline: set[str] = set()
+    if not args.no_baseline and Path(args.baseline).is_file():
+        baseline = load_baseline(args.baseline)
+    new, baselined = split_baselined(result.findings, baseline)
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(new, baselined, result.files_scanned))
+    return 1 if new else 0

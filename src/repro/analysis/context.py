@@ -1,0 +1,146 @@
+"""Per-module analysis context shared by every reprolint rule.
+
+One :class:`ModuleContext` is built per analyzed file.  It owns the
+parsed AST plus the derived tables the rules need:
+
+* an **import alias map** so a rule can ask "what module-level thing
+  does this dotted call refer to?" (``np.random.rand`` resolves to
+  ``numpy.random.rand`` whatever numpy was imported as);
+* the **suppression table** from ``# reprolint: disable=R001[,R002]``
+  comments (a suppression on any physical line of the offending
+  statement silences it);
+* whether the file is a **test module** (rules may scope themselves
+  differently over tests, e.g. R004 only inspects ``assert``s there);
+* the set of **function names defined in nested scopes** and names
+  bound to lambdas, which R003 uses to spot unpicklable task payloads.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+
+__all__ = ["ModuleContext"]
+
+#: Modules whose attribute calls the rules reason about.
+_TRACKED_MODULES = frozenset(
+    {"numpy", "numpy.random", "random", "time", "datetime"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_*,\s]+)")
+
+
+class ModuleContext:
+    def __init__(self, path: str, source: str, tree: ast.Module | None = None) -> None:
+        self.path = PurePath(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree if tree is not None else ast.parse(source, filename=path)
+        parts = PurePath(self.path).parts
+        name = PurePath(self.path).name
+        self.is_test = "tests" in parts or name.startswith("test_")
+        self.module_aliases: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}
+        self.nested_function_names: set[str] = set()
+        self.lambda_names: set[str] = set()
+        self._suppressions = self._collect_suppressions()
+        self._collect_imports()
+        self._collect_nested_defs()
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+
+    def _collect_suppressions(self) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                table[lineno] = {r for r in rules if r}
+        return table
+
+    def is_suppressed(self, node: ast.AST, rule_id: str) -> bool:
+        """True when any physical line of ``node`` carries a suppression
+        for ``rule_id`` (or for ``all``/``*``)."""
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        for lineno in range(start, end + 1):
+            rules = self._suppressions.get(lineno)
+            if rules and (rule_id in rules or "all" in rules or "*" in rules):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Imports and name resolution
+    # ------------------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        if alias.name in _TRACKED_MODULES:
+                            self.module_aliases[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        if top in _TRACKED_MODULES:
+                            self.module_aliases.setdefault(top, top)
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    full = f"{node.module}.{alias.name}"
+                    if full in _TRACKED_MODULES:
+                        self.module_aliases[local] = full
+                    elif node.module in _TRACKED_MODULES:
+                        self.from_imports[local] = full
+
+    def resolve_dotted(self, node: ast.expr) -> list[str] | None:
+        """Resolve ``np.random.rand``-style expressions to real module
+        paths (``["numpy", "random", "rand"]``).
+
+        Returns None when the expression is not a plain dotted name or
+        its base is not a tracked import — an unknown base is *not*
+        flagged, so method calls on arbitrary objects (``rng.random()``,
+        ``s.replace()``) never alias into module rules.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        parts.reverse()
+        if base in self.module_aliases:
+            return self.module_aliases[base].split(".") + parts
+        if base in self.from_imports:
+            return self.from_imports[base].split(".") + parts
+        return None
+
+    # ------------------------------------------------------------------
+    # Nested callables (R003)
+    # ------------------------------------------------------------------
+
+    def _collect_nested_defs(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.nested_function_names.add(inner.name)
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.lambda_names.add(target.id)
+
+    # ------------------------------------------------------------------
+    # Misc helpers
+    # ------------------------------------------------------------------
+
+    def snippet_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""

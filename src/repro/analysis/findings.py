@@ -1,0 +1,66 @@
+"""Finding: one diagnostic produced by a reprolint rule.
+
+A finding is anchored to a file/line/column, but its *identity* for
+baseline purposes is a content fingerprint: the rule id plus the
+stripped source line it points at (plus an ordinal for repeated
+identical lines in one file).  Editing unrelated parts of a file —
+which shifts line numbers — therefore does not invalidate a baseline
+entry; only changing the offending line itself does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+__all__ = ["Finding", "fingerprint_findings"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic, sortable into the stable report order."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""
+    end_line: int = 0
+    fingerprint: str = ""
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def located(self) -> str:
+        """``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def _digest(path: str, rule: str, snippet: str, ordinal: int) -> str:
+    material = f"{path}::{rule}::{snippet}::{ordinal}".encode()
+    return hashlib.sha256(material).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: list[Finding]) -> list[Finding]:
+    """Return the findings sorted, each with its fingerprint assigned.
+
+    The ordinal distinguishes several identical offending lines in the
+    same file (e.g. three copies of ``x = time.time()``) so each can be
+    baselined independently.
+    """
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for finding in ordered:
+        key = (finding.path, finding.rule, finding.snippet)
+        ordinal = seen.get(key, 0)
+        seen[key] = ordinal + 1
+        out.append(
+            dataclasses.replace(
+                finding,
+                fingerprint=_digest(finding.path, finding.rule, finding.snippet, ordinal),
+            )
+        )
+    return out

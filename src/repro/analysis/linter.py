@@ -1,0 +1,106 @@
+"""File walking and rule execution: the linter's outer loop.
+
+``analyze_source`` runs the registered rules over one in-memory module
+(what the analyzer's own tests use); ``lint_paths`` walks directories,
+parses every ``.py`` file, and returns fingerprinted findings.  A file
+that fails to parse is itself a finding (rule ``E999``) rather than a
+crash, so one broken file cannot hide the rest of the report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path, PurePath
+
+from .context import ModuleContext
+from .findings import Finding, fingerprint_findings
+from .rulebase import Rule, registered_rules
+
+__all__ = ["analyze_source", "collect_files", "lint_paths", "LintResult"]
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".cache", ".venv", "venv", "build", "dist", ".eggs"}
+)
+
+
+class LintResult:
+    """Findings plus the file count, pre-sorted and fingerprinted."""
+
+    def __init__(self, findings: list[Finding], files_scanned: int) -> None:
+        self.findings = fingerprint_findings(findings)
+        self.files_scanned = files_scanned
+
+
+def analyze_source(
+    source: str,
+    path: str = "module.py",
+    rules: list[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Run rules over one source string; findings are fingerprinted."""
+    try:
+        ctx = ModuleContext(path, source)
+    except SyntaxError as exc:
+        return fingerprint_findings([_syntax_finding(path, exc)])
+    findings: list[Finding] = []
+    for rule_cls in rules if rules is not None else registered_rules():
+        findings.extend(rule_cls(ctx).run())
+    return fingerprint_findings(findings)
+
+
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=PurePath(path).as_posix(),
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        rule="E999",
+        message=f"file does not parse: {exc.msg}",
+        snippet=(exc.text or "").strip(),
+    )
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            if path.suffix == ".py":
+                files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    rules: list[type[Rule]] | None = None,
+    relative_to: str | Path | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    Finding paths are reported relative to ``relative_to`` when given
+    (the CLI passes the working directory), else as provided.
+    """
+    files = collect_files(paths)
+    findings: list[Finding] = []
+    for file_path in files:
+        report_path = file_path
+        if relative_to is not None:
+            try:
+                report_path = file_path.resolve().relative_to(
+                    Path(relative_to).resolve()
+                )
+            except ValueError:
+                report_path = file_path
+        findings.extend(
+            analyze_source(
+                file_path.read_text(encoding="utf-8"),
+                path=str(report_path),
+                rules=rules,
+            )
+        )
+    return LintResult(findings, files_scanned=len(files))

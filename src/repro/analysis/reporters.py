@@ -1,0 +1,65 @@
+"""Reporters: render a lint result for terminals (text) or tools (JSON).
+
+The JSON document is the machine interface: key order is fixed
+(``sort_keys``), findings are emitted in ``(path, line, col, rule)``
+order, and the schema is versioned, so downstream parsers can rely on
+byte-stable output for identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+from .rulebase import rule_metadata
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    new: list[Finding], baselined: list[Finding], files_scanned: int
+) -> str:
+    lines = [
+        f"{finding.located()}: {finding.rule} {finding.message}"
+        for finding in sorted(new, key=lambda f: f.sort_key)
+    ]
+    summary = (
+        f"reprolint: {len(new)} finding(s) in {files_scanned} file(s)"
+        + (f", {len(baselined)} baselined" if baselined else "")
+    )
+    if not new:
+        summary = f"reprolint: clean ({files_scanned} file(s) scanned" + (
+            f", {len(baselined)} baselined finding(s))" if baselined else ")"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: list[Finding], baselined: list[Finding], files_scanned: int
+) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "counts": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "total": len(new) + len(baselined),
+        },
+        "rules": rule_metadata(),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+                "snippet": finding.snippet,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in sorted(new, key=lambda f: f.sort_key)
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

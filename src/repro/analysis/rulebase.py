@@ -1,0 +1,84 @@
+"""Rule framework: base visitor class, metadata, and the registry.
+
+A rule is an :class:`ast.NodeVisitor` with identity metadata (id, title,
+rationale).  Rules are registered with :func:`register` at import time;
+the linter instantiates every registered rule once per module and runs
+it over the module's AST.  ``report`` funnels every diagnostic through
+the context's suppression check, so inline ``# reprolint: disable=``
+comments work uniformly across rules.
+
+Adding a rule:
+
+1. subclass :class:`Rule`, set ``id`` (``Rxxx``), ``title`` and
+   ``rationale``;
+2. implement ``visit_*`` methods calling ``self.report(node, message)``;
+3. decorate with ``@register``;
+4. add a fixture snippet to ``tests/analysis/test_rules.py`` that
+   triggers it exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .context import ModuleContext
+from .findings import Finding
+
+__all__ = ["Rule", "register", "registered_rules", "rule_metadata"]
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one reprolint rule over one module."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        if self.ctx.is_suppressed(node, self.id):
+            return
+        lineno = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.id,
+                message=message,
+                snippet=self.ctx.snippet_at(lineno),
+                end_line=getattr(node, "end_lineno", lineno) or lineno,
+            )
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> list[type[Rule]]:
+    """All rules, in id order."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_metadata() -> list[dict[str, str]]:
+    """JSON-friendly rule table (id, title, rationale)."""
+    return [
+        {"id": cls.id, "title": cls.title, "rationale": " ".join(cls.rationale.split())}
+        for cls in registered_rules()
+    ]

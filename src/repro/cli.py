@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Five subcommands mirroring the library's main uses::
+Six subcommands mirroring the library's main uses::
 
     python -m repro demo                 # quick genuine-vs-attacker demo
     python -m repro verify --role attack # simulate + verify one session
     python -m repro figures --only fig11 # regenerate paper figures
     python -m repro faults --jobs 2      # fault-severity robustness matrix
+    python -m repro lint --format json   # reprolint static analysis
     python -m repro info                 # configuration + paper constants
 
 The CLI exists so the reproduction can be driven without writing Python
@@ -142,6 +143,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism/contract analysis (reprolint) over the tree."""
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Print the paper configuration and the library version."""
     del args
@@ -236,6 +244,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the engine's PerfReport (incl. quality-gate counters)",
     )
     faults.set_defaults(func=cmd_faults)
+
+    lint = sub.add_parser(
+        "lint",
+        help="reprolint: AST-based determinism & contract analysis "
+        "(R001-R006, see --list-rules)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     info = sub.add_parser("info", help=cmd_info.__doc__)
     info.set_defaults(func=cmd_info)

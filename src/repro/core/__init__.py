@@ -8,6 +8,7 @@ from .diagnostics import ClipDiagnostics, ClipIssue, diagnose_clip, reflection_s
 from .features import FeatureExtraction, FeatureVector, extract_features
 from .lof import LocalOutlierFactor
 from .pipeline import ChatVerifier, DiagnosedVerdict, SessionVerdict, VerificationReport
+from .seeding import spawn_seeds
 from .streaming import CallStatus, StreamingState, StreamingVerifier
 from .voting import Verdict, VotingCombiner
 
@@ -39,4 +40,5 @@ __all__ = [
     "StreamingVerifier",
     "Verdict",
     "VotingCombiner",
+    "spawn_seeds",
 ]

@@ -10,6 +10,7 @@ constructing modified configs rather than monkey-patching the pipeline.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 __all__ = ["DetectorConfig", "PAPER_CONFIG"]
 
@@ -195,6 +196,11 @@ class DetectorConfig:
 
     def replace(self, **changes: object) -> "DetectorConfig":
         """Deprecated alias of :meth:`with_overrides`."""
+        warnings.warn(
+            "DetectorConfig.replace is deprecated; use with_overrides",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.with_overrides(**changes)
 
 

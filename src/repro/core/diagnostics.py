@@ -101,7 +101,7 @@ def diagnose_clip(
     if face_valid is not None:
         face_valid = np.asarray(face_valid, dtype=bool)
         coverage = float(face_valid.mean()) if face_valid.size else 0.0
-        if coverage == 0.0:
+        if coverage == 0.0:  # exact: mean of a bool mask  # reprolint: disable=R004
             issues.append(ClipIssue.NO_FACE)
         elif coverage < min_face_coverage:
             issues.append(ClipIssue.POOR_FACE_COVERAGE)

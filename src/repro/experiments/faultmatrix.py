@@ -36,8 +36,8 @@ from ..faults import FaultSpec, apply_faults_to_record, build_faulty_links
 from .dataset import ATTACK, GENUINE
 from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile
 from .runner import _map
+from ..core.seeding import spawn_seeds
 from .simulate import (
-    _subseeds,
     build_genuine_prover,
     build_links,
     build_verifier,
@@ -74,7 +74,7 @@ def _build_prover(role: str, user: UserProfile, env: Environment, seed: int):
     if role == GENUINE:
         return build_genuine_prover(user, env, seed)
     if role == ATTACK:
-        s_target, s_attacker = _subseeds(seed, 2)
+        s_target, s_attacker = spawn_seeds(seed, 2)
         return ReenactmentAttacker(
             target=TargetRecording(victim=user.face, seed=s_target),
             artifact_level=0.012,
@@ -102,7 +102,7 @@ def simulate_faulted_session(
     """
     env = env or DEFAULT_ENVIRONMENT
     user = user or default_user()
-    s_prover, s_verifier, s_links, s_faults = _subseeds(seed, 4)
+    s_prover, s_verifier, s_links, s_faults = spawn_seeds(seed, 4)
     prover = _build_prover(role, user, env, s_prover)
     verifier = build_verifier(env, s_verifier)
     uplink, downlink = build_links(env, s_links)

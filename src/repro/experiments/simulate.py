@@ -19,6 +19,7 @@ from ..attack.replay import ReplayAttacker
 from ..attack.target import TargetRecording
 from ..chat.endpoints import GenuineProverEndpoint, ProverEndpoint, VerifierEndpoint
 from ..chat.session import SessionRecord, VideoChatSession
+from ..core.seeding import spawn_seeds
 from ..net.channel import NetworkChannel
 from ..net.jitterbuffer import JitterBuffer
 from ..net.link import MediaLink
@@ -40,11 +41,6 @@ __all__ = [
 ]
 
 
-def _subseeds(seed: int, count: int) -> list[int]:
-    """Derive independent child seeds from one session seed."""
-    return [int(s.generate_state(1)[0]) for s in np.random.SeedSequence(seed).spawn(count)]
-
-
 def default_user(seed: int = 7) -> UserProfile:
     """A single stand-alone volunteer (for quickstarts and tests)."""
     return UserProfile(
@@ -56,7 +52,7 @@ def default_user(seed: int = 7) -> UserProfile:
 
 def build_verifier(env: Environment, seed: int) -> VerifierEndpoint:
     """Alice: her own face, scene, ambient light and metering behaviour."""
-    s_face, s_expr, s_amb, s_rend = _subseeds(seed, 4)
+    s_face, s_expr, s_amb, s_rend = spawn_seeds(seed, 4)
     face = make_face("verifier", tone="tan", rng=np.random.default_rng(s_face))
     expression = ExpressionTrack(seed=s_expr, movement_amplitude=0.015)
     ambient = AmbientLight(
@@ -80,7 +76,7 @@ def build_genuine_prover(
     seed: int,
 ) -> GenuineProverEndpoint:
     """Bob when genuine: real face, real screen reflection."""
-    s_expr, s_amb, s_rend, s_dist = _subseeds(seed, 4)
+    s_expr, s_amb, s_rend, s_dist = spawn_seeds(seed, 4)
     expression = ExpressionTrack(
         seed=s_expr,
         movement_amplitude=user.movement_amplitude,
@@ -124,7 +120,7 @@ def _playout_delay(base_delay_s: float, jitter_s: float, env: Environment) -> fl
 
 def build_links(env: Environment, seed: int) -> tuple[MediaLink, MediaLink]:
     """The two directions of the network path."""
-    s_up, s_down = _subseeds(seed, 2)
+    s_up, s_down = spawn_seeds(seed, 2)
     uplink = MediaLink(
         channel=NetworkChannel(
             base_delay_s=env.uplink_delay_s,
@@ -157,7 +153,7 @@ def run_session(
     duration_s: float,
 ) -> SessionRecord:
     """Wire a verifier against the given prover and run the clock."""
-    s_verifier, s_links = _subseeds(seed, 2)
+    s_verifier, s_links = spawn_seeds(seed, 2)
     verifier = build_verifier(env, s_verifier)
     uplink, downlink = build_links(env, s_links)
     session = VideoChatSession(
@@ -179,7 +175,7 @@ def simulate_genuine_session(
     """A chat where the untrusted user really is a live person."""
     env = env or DEFAULT_ENVIRONMENT
     user = user or default_user()
-    s_prover, s_session = _subseeds(seed, 2)
+    s_prover, s_session = spawn_seeds(seed, 2)
     prover = build_genuine_prover(user, env, s_prover)
     return run_session(prover, env, s_session, duration_s)
 
@@ -199,7 +195,7 @@ def simulate_attack_session(
     """A chat where the untrusted side runs face reenactment."""
     env = env or DEFAULT_ENVIRONMENT
     victim = victim or default_user()
-    s_target, s_attacker, s_session = _subseeds(seed, 3)
+    s_target, s_attacker, s_session = spawn_seeds(seed, 3)
     attacker = ReenactmentAttacker(
         target=_target_for(victim, s_target),
         artifact_level=artifact_level,
@@ -219,7 +215,7 @@ def simulate_adaptive_attack_session(
     """The Sec. VIII-J strong attacker forging the reflection with delay."""
     env = env or DEFAULT_ENVIRONMENT
     victim = victim or default_user()
-    s_target, s_attacker, s_session = _subseeds(seed, 3)
+    s_target, s_attacker, s_session = spawn_seeds(seed, 3)
     attacker = AdaptiveLuminanceForger(
         target=_target_for(victim, s_target),
         processing_delay_s=processing_delay_s,
@@ -241,7 +237,7 @@ def simulate_replay_attack_session(
     """A classic media replay of the victim's own footage."""
     env = env or DEFAULT_ENVIRONMENT
     victim = victim or default_user()
-    s_target, s_attacker, s_session = _subseeds(seed, 3)
+    s_target, s_attacker, s_session = spawn_seeds(seed, 3)
     attacker = ReplayAttacker(
         target=_target_for(victim, s_target),
         frame_size=env.frame_size,

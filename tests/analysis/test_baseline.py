@@ -1,0 +1,87 @@
+"""Baseline files: write → load → split round-trip and grandfathering."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    analyze_source,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+
+
+def sample_findings():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        def a():
+            return np.random.rand(3)
+
+        def b():
+            return np.random.normal()
+        """
+    )
+    return analyze_source(source, path="sample.py")
+
+
+class TestRoundTrip:
+    def test_write_then_load_recovers_every_fingerprint(self, tmp_path):
+        findings = sample_findings()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        assert load_baseline(baseline) == {f.fingerprint for f in findings}
+
+    def test_split_against_own_baseline_is_all_old(self, tmp_path):
+        findings = sample_findings()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        new, old = split_baselined(findings, load_baseline(baseline))
+        assert new == []
+        assert old == findings
+
+    def test_fresh_finding_survives_the_split(self, tmp_path):
+        findings = sample_findings()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings[:1])
+        new, old = split_baselined(findings, load_baseline(baseline))
+        assert new == findings[1:]
+        assert old == findings[:1]
+
+    def test_written_file_is_deterministic(self, tmp_path):
+        findings = sample_findings()
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_baseline(first, findings)
+        write_baseline(second, findings)
+        assert first.read_text() == second.read_text()
+
+
+class TestFormat:
+    def test_empty_baseline_shape(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [])
+        payload = json.loads(baseline.read_text())
+        assert payload == {"findings": [], "version": 1}
+
+    def test_entries_carry_context_for_human_review(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, sample_findings())
+        payload = json.loads(baseline.read_text())
+        for entry in payload["findings"]:
+            assert set(entry) == {"fingerprint", "rule", "path", "message"}
+
+    def test_unknown_version_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"findings": [], "version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(baseline)
+
+    def test_missing_file_raises(self, tmp_path):
+        # The CLI checks is_file() first; a direct load of a missing
+        # path should fail loudly rather than silently grandfather nothing.
+        with pytest.raises(FileNotFoundError):
+            load_baseline(tmp_path / "absent.json")

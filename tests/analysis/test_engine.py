@@ -1,0 +1,154 @@
+"""Analyzer framework: suppressions, fingerprints, registry, parsing."""
+
+import textwrap
+
+from repro.analysis import (
+    ModuleContext,
+    analyze_source,
+    registered_rules,
+    rule_metadata,
+)
+
+R001_SNIPPET = """
+    import numpy as np
+
+    def sample():
+        return np.random.rand(3)
+    """
+
+
+def dedent(source):
+    return textwrap.dedent(source)
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_the_rule(self):
+        source = dedent(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)  # reprolint: disable=R001
+            """
+        )
+        assert not analyze_source(source)
+
+    def test_disable_lists_multiple_rules(self):
+        source = dedent(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3) == 1.0  # reprolint: disable=R001,R004
+            """
+        )
+        assert not analyze_source(source)
+
+    def test_disable_all_wildcard(self):
+        source = dedent(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)  # reprolint: disable=all
+            """
+        )
+        assert not analyze_source(source)
+
+    def test_unrelated_disable_does_not_silence(self):
+        source = dedent(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)  # reprolint: disable=R002
+            """
+        )
+        assert [f.rule for f in analyze_source(source)] == ["R001"]
+
+    def test_suppression_on_any_line_of_the_statement(self):
+        source = dedent(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.normal(  # reprolint: disable=R001
+                    0.0,
+                    1.0,
+                )
+            """
+        )
+        assert not analyze_source(source)
+
+
+class TestFingerprints:
+    def test_stable_across_unrelated_line_shifts(self):
+        before = analyze_source(dedent(R001_SNIPPET))
+        shifted = analyze_source("# a new leading comment\n" + dedent(R001_SNIPPET))
+        assert [f.fingerprint for f in before] == [f.fingerprint for f in shifted]
+        assert before[0].line != shifted[0].line
+
+    def test_identical_lines_get_distinct_fingerprints(self):
+        source = dedent(
+            """
+            import numpy as np
+
+            def a():
+                return np.random.rand(3)
+
+            def b():
+                return np.random.rand(3)
+            """
+        )
+        findings = analyze_source(source)
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_path_is_part_of_identity(self):
+        a = analyze_source(dedent(R001_SNIPPET), path="a.py")
+        b = analyze_source(dedent(R001_SNIPPET), path="b.py")
+        assert a[0].fingerprint != b[0].fingerprint
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        assert [cls.id for cls in registered_rules()] == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+        ]
+
+    def test_metadata_is_complete(self):
+        for rule in rule_metadata():
+            assert rule["id"].startswith("R")
+            assert rule["title"]
+            assert rule["rationale"]
+
+
+class TestParsing:
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        findings = analyze_source("def broken(:\n    pass\n")
+        assert [f.rule for f in findings] == ["E999"]
+        assert "parse" in findings[0].message
+
+    def test_test_detection_by_path(self):
+        assert ModuleContext("tests/net/helper.py", "x = 1\n").is_test
+        assert ModuleContext("test_anything.py", "x = 1\n").is_test
+        assert not ModuleContext("src/repro/core/config.py", "x = 1\n").is_test
+
+    def test_analyze_source_restricts_to_given_rules(self):
+        source = dedent(R001_SNIPPET)
+        rules = [cls for cls in registered_rules() if cls.id == "R002"]
+        assert not analyze_source(source, rules=rules)
+
+
+class TestSpawnSeedsExemption:
+    def test_core_seeding_lints_clean(self):
+        from pathlib import Path
+
+        seeding = Path(__file__).resolve().parents[2] / "src/repro/core/seeding.py"
+        findings = analyze_source(seeding.read_text(), path="src/repro/core/seeding.py")
+        assert findings == []

@@ -1,0 +1,27 @@
+"""Meta-test: this repository lints clean with an empty baseline.
+
+This is the gate the whole PR rides on — ``repro lint`` over ``src/`` +
+``tests/`` must report zero non-baselined findings, and the checked-in
+baseline must be empty (no grandfathered debt).
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_tree_has_zero_findings():
+    result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert result.findings == [], [
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    ]
+    assert result.files_scanned > 100  # sanity: the walk really covered the tree
+
+
+def test_checked_in_baseline_is_empty():
+    baseline = REPO_ROOT / "reprolint-baseline.json"
+    payload = json.loads(baseline.read_text())
+    assert payload == {"findings": [], "version": 1}

@@ -22,7 +22,7 @@ class TestReplay:
 
     def test_no_synthesis_artifacts(self, target):
         attacker = ReplayAttacker(target=target, frame_size=(64, 64))
-        assert attacker.artifact_level == 0.0
+        assert attacker.artifact_level == pytest.approx(0.0)
 
     def test_ignores_displayed_content(self, target):
         a = ReplayAttacker(target=target, frame_size=(64, 64))

@@ -51,7 +51,7 @@ class TestRateLimit:
         cam = VirtualCamera(source, max_generation_hz=1.0)
         cam.produce_frame(0.0, None)
         repeated = cam.produce_frame(0.5, None)
-        assert repeated.timestamp == 0.5
+        assert repeated.timestamp == pytest.approx(0.5)
         assert repeated.metadata["repeated"] is True
 
     def test_paper_cited_rate_admits_10hz_capture(self):

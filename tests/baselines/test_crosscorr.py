@@ -28,7 +28,7 @@ class TestMaxCrossCorr:
 
     def test_constant_signal_scores_low(self):
         corr, _ = max_normalized_crosscorr(np.ones(50), np.arange(50.0), max_lag=5)
-        assert corr == -1.0
+        assert corr == pytest.approx(-1.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):

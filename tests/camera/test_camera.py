@@ -23,7 +23,7 @@ class TestCapture:
     def test_frame_carries_timestamp_and_metadata(self):
         camera = _camera()
         frame = camera.capture(np.full((16, 16, 3), 50.0), timestamp=1.0)
-        assert frame.timestamp == 1.0
+        assert frame.timestamp == pytest.approx(1.0)
         assert "exposure" in frame.metadata
         assert "metered_level" in frame.metadata
 
@@ -67,7 +67,7 @@ class TestClock:
         camera.capture(np.full((8, 8, 3), 10.0), timestamp=5.0)
         camera.reset_clock()
         frame = camera.capture(np.full((8, 8, 3), 10.0), timestamp=0.0)
-        assert frame.timestamp == 0.0
+        assert frame.timestamp == pytest.approx(0.0)
 
     def test_rejects_bad_fps(self):
         with pytest.raises(ValueError):

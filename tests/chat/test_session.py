@@ -34,7 +34,7 @@ class TestRecordShape:
         record = _session(seed=1).run(duration_s=6.0)
         assert len(record.transmitted) == 60
         assert len(record.received) == 60
-        assert record.fps == 10.0
+        assert record.fps == pytest.approx(10.0)
         assert record.duration_s == pytest.approx(6.0)
 
     def test_timestamps_aligned_on_verifier_clock(self):

@@ -26,7 +26,7 @@ from repro.vision.renderer import FaceRenderer
 
 
 def pytest_sessionstart(session):
-    session.config._repro_session_t0 = time.perf_counter()
+    session.config._repro_session_t0 = time.perf_counter()  # reprolint: disable=R002
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -41,7 +41,7 @@ def pytest_sessionfinish(session, exitstatus):
     if start is None:
         return
     budget_s = float(os.environ.get("REPRO_TIER1_BUDGET_S", "900"))
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # reprolint: disable=R002
     if elapsed > budget_s:
         session.exitstatus = 1
         print(

@@ -26,7 +26,7 @@ class TestChallengeQuality:
         quality = challenge_quality(np.full(150, 120.0), config)
         assert quality.challenge_count == 0
         assert not quality.sufficient
-        assert quality.mean_prominence == 0.0
+        assert quality.mean_prominence == pytest.approx(0.0)
 
     def test_guarded_challenge_not_counted(self, config):
         # A single step inside the end guard window.

@@ -76,7 +76,8 @@ class TestValidation:
 class TestWithOverrides:
     def test_returns_modified_copy(self):
         changed = PAPER_CONFIG.with_overrides(sample_rate_hz=8.0)
-        assert changed.sample_rate_hz == 8.0
+        # Verbatim: 8.0 is the exact value passed one line up.
+        assert changed.sample_rate_hz == 8.0  # reprolint: disable=R004
         assert PAPER_CONFIG.sample_rate_hz == 10.0
         assert changed.lof_threshold == PAPER_CONFIG.lof_threshold
 
@@ -86,7 +87,8 @@ class TestWithOverrides:
 
     def test_rejects_unknown_field_by_name(self):
         with pytest.raises(ValueError, match="lof_treshold"):
-            PAPER_CONFIG.with_overrides(lof_treshold=2.0)
+            # The typo is the point of the test (R006's runtime twin).
+            PAPER_CONFIG.with_overrides(lof_treshold=2.0)  # reprolint: disable=R006
 
     def test_no_overrides_is_an_identical_copy(self):
         assert PAPER_CONFIG.with_overrides() == PAPER_CONFIG
@@ -95,7 +97,7 @@ class TestWithOverrides:
         assert PAPER_CONFIG.with_overrides(sample_rate_hz=8.0).samples_per_clip == 120
         assert PAPER_CONFIG.with_overrides(sample_rate_hz=5.0).samples_per_clip == 75
 
-    def test_deprecated_replace_alias_delegates(self):
-        assert PAPER_CONFIG.replace(sample_rate_hz=8.0) == PAPER_CONFIG.with_overrides(
-            sample_rate_hz=8.0
-        )
+    def test_deprecated_replace_alias_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="with_overrides"):
+            changed = PAPER_CONFIG.replace(sample_rate_hz=8.0)  # reprolint: disable=R006
+        assert changed == PAPER_CONFIG.with_overrides(sample_rate_hz=8.0)

@@ -67,7 +67,7 @@ class TestAlignSignals:
         r = np.arange(5.0)
         t_a, _ = align_signals(t, r, 0.0, 10.0)
         t_a[0] = 99.0
-        assert t[0] == 0.0
+        assert t[0] == pytest.approx(0.0)
 
     def test_rejects_bad_rate(self):
         with pytest.raises(ValueError):

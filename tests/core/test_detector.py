@@ -76,7 +76,7 @@ class TestVerification:
     def test_result_carries_evidence(self, trained):
         result = trained.verify_features(GENUINE_FEATURES)
         assert result.features == GENUINE_FEATURES
-        assert result.threshold == 3.0
+        assert result.threshold == pytest.approx(3.0)
 
     def test_verify_clip_end_to_end(self, step_signal, reflected_signal):
         det = LivenessDetector().fit(_genuine_bank())

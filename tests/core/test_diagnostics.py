@@ -57,7 +57,7 @@ class TestDiagnoseClip:
         t, r = _challenged_clip()
         diag = diagnose_clip(t, r, face_valid=np.zeros(150, dtype=bool))
         assert ClipIssue.NO_FACE in diag.issues
-        assert diag.face_coverage == 0.0
+        assert diag.face_coverage == pytest.approx(0.0)
 
     def test_partial_face_coverage_flagged(self):
         t, r = _challenged_clip()
@@ -76,4 +76,4 @@ class TestDiagnoseClip:
     def test_face_mask_optional(self):
         t, r = _challenged_clip()
         diag = diagnose_clip(t, r)
-        assert diag.face_coverage == 1.0
+        assert diag.face_coverage == pytest.approx(1.0)

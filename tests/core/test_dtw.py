@@ -9,7 +9,7 @@ from repro.core.dtw import dtw_distance
 class TestExactValues:
     def test_identical_sequences_zero(self):
         x = np.array([1.0, 2.0, 3.0, 2.0])
-        assert dtw_distance(x, x) == 0.0
+        assert dtw_distance(x, x) == pytest.approx(0.0)
 
     def test_constant_offset(self):
         x = np.zeros(5)

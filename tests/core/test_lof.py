@@ -79,7 +79,7 @@ class TestSmallAndDegenerateBanks:
         train = np.tile([1.0, 1.0], (10, 1))
         model = LocalOutlierFactor(3).fit(train)
         # Query exactly on the degenerate cluster: inlier by convention.
-        assert model.score(np.array([1.0, 1.0])) == 1.0
+        assert model.score(np.array([1.0, 1.0])) == pytest.approx(1.0)
 
     def test_duplicate_training_points_query_away(self):
         train = np.tile([1.0, 1.0], (10, 1))

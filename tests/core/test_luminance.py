@@ -61,7 +61,7 @@ class TestReceivedSignal:
         frames = [blank_frame(32, 32, value=30.0, timestamp=i / 10.0) for i in range(5)]
         stream = VideoStream(fps=10.0, frames=frames)
         signal = received_luminance_signal(stream, LandmarkDetector())
-        assert signal.detection_rate == 0.0
+        assert signal.detection_rate == pytest.approx(0.0)
         assert np.allclose(signal.luminance, 0.0)
 
     def test_gap_holds_previous_value(self, genuine_record):

@@ -12,16 +12,16 @@ class TestBasicDetection:
         peaks = find_peaks(x, 0.5)
         assert len(peaks) == 1
         assert peaks[0].index == 3
-        assert peaks[0].height == 3.0
-        assert peaks[0].prominence == 3.0
+        assert peaks[0].height == pytest.approx(3.0)
+        assert peaks[0].prominence == pytest.approx(3.0)
 
     def test_two_peaks_with_saddle(self):
         x = np.array([0, 5, 1, 4, 0], dtype=float)
         peaks = find_peaks(x, 0.5)
         assert [p.index for p in peaks] == [1, 3]
         # Left peak rises from the global floor; right peak only from the saddle.
-        assert peaks[0].prominence == 5.0
-        assert peaks[1].prominence == 3.0
+        assert peaks[0].prominence == pytest.approx(5.0)
+        assert peaks[1].prominence == pytest.approx(3.0)
 
     def test_endpoints_never_peaks(self):
         x = np.array([5, 1, 0, 1, 6], dtype=float)

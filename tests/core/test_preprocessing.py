@@ -66,8 +66,8 @@ class TestMovingVariance:
     def test_step_produces_local_bump(self):
         x = np.concatenate([np.zeros(30), np.full(30, 10.0)])
         var = moving_variance(x, 10)
-        assert var[:25].max() == 0.0
-        assert var[45:].max() == 0.0
+        assert var[:25].max() == pytest.approx(0.0)
+        assert var[45:].max() == pytest.approx(0.0)
         assert var[28:40].max() == pytest.approx(25.0)  # (h/2)^2 at the edge
 
     def test_matches_numpy_variance_per_window(self):
@@ -80,7 +80,7 @@ class TestMovingVariance:
     def test_prefix_windows_grow(self):
         x = np.array([0.0, 10.0, 0.0, 10.0])
         var = moving_variance(x, 10)
-        assert var[0] == 0.0
+        assert var[0] == pytest.approx(0.0)
         assert var[1] == pytest.approx(np.var(x[:2]))
 
     def test_never_negative(self):

@@ -92,7 +92,7 @@ class TestAllMissClip:
         assert not attempt.conclusive
         assert attempt.verdict is AttemptVerdict.INCONCLUSIVE
         assert QualityIssue.LOW_LANDMARK_COVERAGE in attempt.quality.issues
-        assert attempt.quality.landmark_hit_fraction == 0.0
+        assert attempt.quality.landmark_hit_fraction == pytest.approx(0.0)
         state = verifier.state
         assert state.status is CallStatus.INCONCLUSIVE
         assert state.verdict is None

@@ -1,5 +1,7 @@
 """PerfRecorder/PerfReport: stage timing, counters, printable rows."""
 
+import pytest
+
 from repro.engine import PerfRecorder
 
 
@@ -63,10 +65,10 @@ class TestReport:
         report = _snapshot(PerfRecorder(), jobs=4, hits=3, misses=1)
         assert report.jobs == 4
         assert report.cache_lookups == 4
-        assert report.cache_hit_rate == 0.75
+        assert report.cache_hit_rate == pytest.approx(0.75)
 
     def test_hit_rate_defined_without_lookups(self):
-        assert _snapshot(PerfRecorder()).cache_hit_rate == 0.0
+        assert _snapshot(PerfRecorder()).cache_hit_rate == pytest.approx(0.0)
 
     def test_str_mentions_stages_and_cache(self):
         rec = PerfRecorder()

@@ -45,20 +45,20 @@ class TestFaultMatrix:
     def test_genuine_users_never_read_as_attackers(self, matrix):
         for severity in SEVERITIES:
             cell = matrix.cell(severity, "genuine")
-            assert cell.attacker_fraction == 0.0, (
+            assert cell.attacker_fraction == pytest.approx(0.0), (
                 f"severity {severity}: genuine flagged as attacker "
                 f"(statuses={cell.statuses})"
             )
 
     def test_clean_channel_still_flags_attacks(self, matrix):
-        assert matrix.cell(0.0, "attack").attacker_fraction == 1.0
+        assert matrix.cell(0.0, "attack").attacker_fraction == pytest.approx(1.0)
 
     def test_degradation_is_gated_not_misjudged(self, matrix):
         # At full severity the gate must be withholding clips...
         worst = matrix.cell(1.0, "genuine")
         assert worst.gated_fraction > 0.0
         # ...and the clean cell must not be gated at all.
-        assert matrix.cell(0.0, "genuine").gated_fraction == 0.0
+        assert matrix.cell(0.0, "genuine").gated_fraction == pytest.approx(0.0)
 
     def test_same_seed_is_reproducible(self, matrix, env):
         again = run_fault_matrix(

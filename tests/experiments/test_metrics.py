@@ -14,15 +14,15 @@ from repro.experiments.metrics import (
 class TestRates:
     def test_tar_counts_accepts(self):
         scores = np.array([1.0, 2.0, 4.0, 5.0])
-        assert true_acceptance_rate(scores, 3.0) == 0.5
+        assert true_acceptance_rate(scores, 3.0) == pytest.approx(0.5)
 
     def test_trr_counts_rejects(self):
         scores = np.array([1.0, 2.0, 4.0, 5.0])
-        assert true_rejection_rate(scores, 3.0) == 0.5
+        assert true_rejection_rate(scores, 3.0) == pytest.approx(0.5)
 
     def test_threshold_inclusive_for_accept(self):
-        assert true_acceptance_rate(np.array([3.0]), 3.0) == 1.0
-        assert true_rejection_rate(np.array([3.0]), 3.0) == 0.0
+        assert true_acceptance_rate(np.array([3.0]), 3.0) == pytest.approx(1.0)
+        assert true_rejection_rate(np.array([3.0]), 3.0) == pytest.approx(0.0)
 
     def test_summary_consistency(self):
         genuine = np.array([1.0, 1.5, 6.0])
@@ -43,7 +43,7 @@ class TestEer:
         genuine = np.array([1.0, 1.1, 1.2])
         attacks = np.array([9.0, 9.5, 10.0])
         eer, threshold = equal_error_rate(genuine, attacks)
-        assert eer == 0.0
+        assert eer == pytest.approx(0.0)
         assert 1.2 <= threshold < 9.0
 
     def test_total_overlap_gives_half(self):

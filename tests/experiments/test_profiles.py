@@ -55,7 +55,7 @@ class TestEnvironment:
 
     def test_replace_sweeps_one_knob(self):
         loud = DEFAULT_ENVIRONMENT.replace(prover_ambient_lux=240.0)
-        assert loud.prover_ambient_lux == 240.0
+        assert loud.prover_ambient_lux == 240.0  # reprolint: disable=R004
         assert loud.screen == DEFAULT_ENVIRONMENT.screen
 
     def test_validation(self):

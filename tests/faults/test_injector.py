@@ -130,7 +130,7 @@ class TestApplyFaultsToRecord:
         schedule = _schedule(FaultSpec(landmark_dropout_rate=1.0))
         faulted = apply_faults_to_record(record, schedule)
         for frame in faulted.received:
-            assert frame.pixels.max() == 0.0
+            assert frame.pixels.max() == pytest.approx(0.0)
             assert frame.metadata["landmark_dropout"] is True
 
     def test_transmitted_stream_is_untouched(self):

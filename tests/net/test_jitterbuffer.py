@@ -33,7 +33,7 @@ class TestPlayout:
         assert buffer.playout(1.1) is None  # before deadline
         frame = buffer.playout(1.16)
         assert frame is not None
-        assert frame.timestamp == 1.0
+        assert frame.timestamp == pytest.approx(1.0)
 
     def test_frame_released_once(self):
         buffer = JitterBuffer(playout_delay_s=0.1)
@@ -46,7 +46,7 @@ class TestPlayout:
         _deliver(buffer, _frame_packets(1.0))
         _deliver(buffer, _frame_packets(1.1))
         frame = buffer.playout(1.5)
-        assert frame.timestamp == 1.1
+        assert frame.timestamp == pytest.approx(1.1)
         assert buffer.stats.played == 1
 
     def test_early_packets_not_visible(self):
@@ -82,7 +82,7 @@ class TestLossHandling:
         _deliver(buffer, _frame_packets(1.1))  # complete
         frame = buffer.playout(1.5)
         assert frame is not None
-        assert frame.timestamp == 1.1
+        assert frame.timestamp == pytest.approx(1.1)
         assert buffer.stats.lost_frames == 1
 
 

@@ -35,7 +35,7 @@ class TestRoundTrip:
     def test_playout_metadata_attached(self):
         link = _link()
         link.send(blank_frame(8, 8, timestamp=0.0))
-        assert link.receive(1.0).metadata["playout_time"] == 1.0
+        assert link.receive(1.0).metadata["playout_time"] == pytest.approx(1.0)
 
     def test_one_way_delay_property(self):
         assert _link(delay=0.08, playout=0.12).one_way_delay_s == pytest.approx(0.2)

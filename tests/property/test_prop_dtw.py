@@ -1,6 +1,7 @@
 """Property-based tests of the DTW distance."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -18,7 +19,7 @@ class TestDtwAxioms:
     @given(seq)
     @settings(max_examples=50, deadline=None)
     def test_identity(self, x):
-        assert dtw_distance(x, x) == 0.0
+        assert dtw_distance(x, x) == pytest.approx(0.0)
 
     @given(seq, seq)
     @settings(max_examples=50, deadline=None)
@@ -53,7 +54,7 @@ class TestDtwAxioms:
     def test_repeated_samples_free(self, x):
         # DTW can match a repeated sample to its original at zero cost.
         stretched = np.repeat(x, 2)
-        assert dtw_distance(x, stretched) == 0.0
+        assert dtw_distance(x, stretched) == pytest.approx(0.0)
 
 
 class TestBandProperty:

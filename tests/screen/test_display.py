@@ -43,7 +43,7 @@ class TestEmission:
         assert spec.emitted_luminance(0.0) == pytest.approx(expected)
 
     def test_oled_black_is_zero(self):
-        assert PHONE_6_OLED.emitted_luminance(0.0) == 0.0
+        assert PHONE_6_OLED.emitted_luminance(0.0) == pytest.approx(0.0)
 
     def test_emission_monotonic_in_content(self):
         values = [DELL_27_LED.emitted_luminance(v) for v in (0, 64, 128, 192, 255)]

@@ -75,7 +75,7 @@ class TestAmbientEvent:
         event = AmbientEvent(start_s=5.0, duration_s=2.0, delta_lux=10.0)
         t = np.array([4.0, 5.05, 6.0, 7.05, 8.0])
         contribution = event.contribution(t)
-        assert contribution[0] == 0.0
+        assert contribution[0] == pytest.approx(0.0)
         assert 0 < contribution[1] < 10.0
         assert contribution[2] == pytest.approx(10.0)
         assert contribution[4] == pytest.approx(0.0)

@@ -45,7 +45,7 @@ class TestMetadataAndIds:
     def test_timestamp_preserved(self):
         codec = VideoCodec()
         encoded = codec.encode(blank_frame(4, 4, timestamp=2.5))
-        assert codec.decode(encoded).timestamp == 2.5
+        assert codec.decode(encoded).timestamp == pytest.approx(2.5)
 
     def test_metadata_round_trip(self):
         codec = VideoCodec()

@@ -35,7 +35,7 @@ class TestOperations:
         dup = frame.copy()
         dup.pixels[0, 0, 0] = 99.0
         dup.metadata["k"] = 2
-        assert frame.pixels[0, 0, 0] == 1.0
+        assert frame.pixels[0, 0, 0] == pytest.approx(1.0)
         assert frame.metadata["k"] == 1
 
     def test_clipped(self):
@@ -44,7 +44,7 @@ class TestOperations:
         clipped = frame.clipped()
         assert list(clipped.pixels[0, 0]) == [0.0, 255.0, 100.0]
         # Original untouched.
-        assert frame.pixels[0, 0, 0] == -5.0
+        assert frame.pixels[0, 0, 0] == pytest.approx(-5.0)
 
     def test_quantized_rounds(self):
         frame = blank_frame(2, 2, value=10.4)

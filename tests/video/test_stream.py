@@ -24,18 +24,18 @@ class TestOrdering:
     def test_iteration_and_indexing(self):
         stream = _stream(5)
         assert len(stream) == 5
-        assert stream[2].pixels[0, 0, 0] == 2.0
+        assert stream[2].pixels[0, 0, 0] == pytest.approx(2.0)
         assert [f.timestamp for f in stream] == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
 
     def test_duration(self):
         assert _stream(11).duration_s == pytest.approx(1.0)
-        assert VideoStream(fps=10.0).duration_s == 0.0
+        assert VideoStream(fps=10.0).duration_s == pytest.approx(0.0)
 
 
 class TestResampling:
     def test_downsample_10_to_5(self):
         out = _stream(20).resampled(5.0)
-        assert out.fps == 5.0
+        assert out.fps == pytest.approx(5.0)
         # every other frame
         values = [f.pixels[0, 0, 0] for f in out]
         assert values == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0]

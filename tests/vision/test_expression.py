@@ -46,7 +46,7 @@ class TestBlinking:
     def test_no_blinks_when_rate_zero(self):
         track = ExpressionTrack(seed=4, blink_rate_hz=0.0)
         blinks = [track.sample(float(t)).blink for t in np.linspace(0, 30, 300)]
-        assert max(blinks) == 0.0
+        assert max(blinks) == pytest.approx(0.0)
 
     def test_blinks_are_brief(self):
         track = ExpressionTrack(seed=5, blink_rate_hz=0.3)
@@ -64,7 +64,7 @@ class TestTalking:
     def test_mouth_still_when_silent(self):
         track = ExpressionTrack(seed=6, talking=False)
         mouth = [track.sample(float(t)).mouth_open for t in np.linspace(0, 10, 100)]
-        assert max(mouth) == 0.0
+        assert max(mouth) == pytest.approx(0.0)
 
 
 class TestValidation:

@@ -9,11 +9,11 @@ from repro.vision.geometry import Point, Rect, clamp, square_around
 
 class TestClamp:
     def test_inside(self):
-        assert clamp(0.5, 0.0, 1.0) == 0.5
+        assert clamp(0.5, 0.0, 1.0) == pytest.approx(0.5)
 
     def test_below_and_above(self):
-        assert clamp(-1.0, 0.0, 1.0) == 0.0
-        assert clamp(2.0, 0.0, 1.0) == 1.0
+        assert clamp(-1.0, 0.0, 1.0) == pytest.approx(0.0)
+        assert clamp(2.0, 0.0, 1.0) == pytest.approx(1.0)
 
     def test_empty_interval_raises(self):
         with pytest.raises(ValueError):
@@ -22,7 +22,7 @@ class TestClamp:
 
 class TestPoint:
     def test_distance(self):
-        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
 
     def test_translate(self):
         p = Point(1, 2).translated(3, -1)
@@ -97,4 +97,4 @@ class TestSquareAround:
 
     def test_zero_side_allowed(self):
         sq = square_around(Point(5, 5), 0.0)
-        assert sq.area == 0.0
+        assert sq.area == pytest.approx(0.0)
