@@ -4,8 +4,8 @@ Each rule encodes one determinism or contract invariant this repo's
 runtime guarantees depend on (pool==serial bit-identity, seeded fault
 schedules, reproducible z1-z4 features).  They are deliberately
 *specific to this codebase*: a generic linter cannot know that
-``engine/perf.py`` is the one blessed wall-clock site, or what the
-field set of ``DetectorConfig`` is.
+``obs/clock.py`` and ``engine/perf.py`` are the blessed wall-clock
+sites, or what the field set of ``DetectorConfig`` is.
 """
 
 from __future__ import annotations
@@ -89,11 +89,12 @@ class UnseededRandomnessRule(Rule):
 @register
 class WallClockRule(Rule):
     id = "R002"
-    title = "wall-clock read outside engine/perf.py"
+    title = "wall-clock read outside the blessed clock sites"
     rationale = """time.time / perf_counter / datetime.now make results depend
     on when the code ran.  Simulated time must come from the session clock;
-    the only blessed real-clock site is the perf instrumentation in
-    engine/perf.py."""
+    the blessed real-clock sites are the clock abstraction in obs/clock.py
+    (which everything else, including the rest of obs/, must go through)
+    and the historical perf instrumentation in engine/perf.py."""
 
     _WALL_CLOCK = frozenset(
         {
@@ -111,8 +112,13 @@ class WallClockRule(Rule):
         }
     )
 
+    #: The only modules allowed to touch the real clock.  Note this is
+    #: obs/clock.py alone, not obs/ wholesale: the rest of the subsystem
+    #: must route through the Clock abstraction like everyone else.
+    _BLESSED_SITES = ("engine/perf.py", "obs/clock.py")
+
     def run(self) -> list:
-        if self.ctx.path.endswith("engine/perf.py"):
+        if self.ctx.path.endswith(self._BLESSED_SITES):
             return self.findings
         return super().run()
 
@@ -121,8 +127,9 @@ class WallClockRule(Rule):
         if target is not None and tuple(target) in self._WALL_CLOCK:
             self.report(
                 node,
-                f"wall-clock read {'.'.join(target)}() outside engine/perf.py; "
-                "derive time from the session clock or route timing through PerfRecorder",
+                f"wall-clock read {'.'.join(target)}() outside obs/clock.py; "
+                "derive time from the session clock or route timing through "
+                "the obs.clock abstraction",
             )
         self.generic_visit(node)
 

@@ -16,7 +16,11 @@ import lives here, re-exported from the subsystem that owns it:
 * fault injection — :class:`FaultSpec`/:class:`FaultSchedule`, the
   faulted session builder and the :func:`run_fault_matrix` robustness
   sweep, plus the streaming quality-gate vocabulary
-  (:class:`GatedAttempt`, :class:`ClipQuality`, :class:`AttemptVerdict`).
+  (:class:`GatedAttempt`, :class:`ClipQuality`, :class:`AttemptVerdict`);
+* observability — :class:`Instrumentation` (the handle every
+  instrumented constructor accepts), the metrics registry and its
+  mergeable snapshots, span tracing with the ``repro-trace-v1`` JSONL
+  schema, and the Prometheus/JSON exporters.
 
 Importing from submodule paths keeps working, but only the names listed
 here are covered by the compatibility promise.
@@ -50,6 +54,18 @@ from .experiments.simulate import (
     simulate_replay_attack_session,
 )
 from .faults import FaultSchedule, FaultSpec
+from .obs import (
+    PIPELINE_STAGES,
+    TRACE_SCHEMA,
+    Instrumentation,
+    JsonlTraceSink,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tracer,
+    read_trace,
+    render_json,
+    render_prometheus,
+)
 
 __all__ = [
     "AttemptVerdict",
@@ -67,15 +83,25 @@ __all__ = [
     "ExecutionEngine",
     "FeatureCache",
     "FeatureVector",
+    "Instrumentation",
+    "JsonlTraceSink",
     "LivenessDetector",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "PAPER_CONFIG",
+    "PIPELINE_STAGES",
     "PerfReport",
     "StreamingState",
     "StreamingVerifier",
+    "TRACE_SCHEMA",
+    "Tracer",
     "Verdict",
     "VerificationReport",
     "VotingCombiner",
     "extract_features",
+    "read_trace",
+    "render_json",
+    "render_prometheus",
     "run_fault_matrix",
     "simulate_adaptive_attack_session",
     "simulate_attack_session",

@@ -17,6 +17,7 @@ import dataclasses
 from typing import Any
 
 from ..net.link import MediaLink
+from ..obs.instrument import Instrumentation
 from ..video.frame import Frame
 from ..video.stream import VideoStream
 from .endpoints import ProverEndpoint, VerifierEndpoint
@@ -55,6 +56,9 @@ class VideoChatSession:
         Simulation tick rate; also the capture rate of both cameras.
     warmup_s:
         Time simulated before recording begins.
+    instrumentation:
+        Optional observability handle: ``chat.session`` span around the
+        whole run, tick/freeze counters under ``chat_*``.
     """
 
     def __init__(
@@ -65,6 +69,7 @@ class VideoChatSession:
         downlink: MediaLink | None = None,
         fps: float = 10.0,
         warmup_s: float = 2.0,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if fps <= 0:
             raise ValueError("fps must be positive")
@@ -76,11 +81,23 @@ class VideoChatSession:
         self.downlink = downlink or MediaLink()
         self.fps = fps
         self.warmup_s = warmup_s
+        self.instrumentation = Instrumentation.ensure(instrumentation)
 
     def run(self, duration_s: float) -> SessionRecord:
         """Simulate ``duration_s`` seconds of chat (after warm-up)."""
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        with self.instrumentation.span(
+            "chat.session", stage="simulate", duration_s=duration_s
+        ):
+            record = self._run(duration_s)
+        self.instrumentation.count("chat_ticks_total", len(record.transmitted))
+        self.instrumentation.count(
+            "chat_frozen_ticks_total", record.stats["frozen_ticks"]
+        )
+        return record
+
+    def _run(self, duration_s: float) -> SessionRecord:
         dt = 1.0 / self.fps
         total_ticks = int(round((self.warmup_s + duration_s) * self.fps))
         warmup_ticks = int(round(self.warmup_s * self.fps))

@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Six subcommands mirroring the library's main uses::
+Eight subcommands mirroring the library's main uses::
 
     python -m repro demo                 # quick genuine-vs-attacker demo
     python -m repro verify --role attack # simulate + verify one session
+    python -m repro simulate --trace t.jsonl  # instrumented session batch
+    python -m repro trace t.jsonl        # per-stage latency percentiles
     python -m repro figures --only fig11 # regenerate paper figures
     python -m repro faults --jobs 2      # fault-severity robustness matrix
     python -m repro lint --format json   # reprolint static analysis
@@ -45,18 +47,67 @@ def _enrolled_verifier(enroll_sessions: int, seed: int) -> ChatVerifier:
     return verifier
 
 
-def _simulate(role: str, seed: int, duration_s: float, delay_s: float):
+def _simulate(
+    role: str,
+    seed: int,
+    duration_s: float,
+    delay_s: float,
+    env=None,
+    instrumentation=None,
+):
     if role == "genuine":
-        return simulate_genuine_session(duration_s=duration_s, seed=seed)
+        return simulate_genuine_session(
+            duration_s=duration_s, seed=seed, env=env, instrumentation=instrumentation
+        )
     if role == "attack":
-        return simulate_attack_session(duration_s=duration_s, seed=seed)
+        return simulate_attack_session(
+            duration_s=duration_s, seed=seed, env=env, instrumentation=instrumentation
+        )
     if role == "replay":
-        return simulate_replay_attack_session(duration_s=duration_s, seed=seed)
+        return simulate_replay_attack_session(
+            duration_s=duration_s, seed=seed, env=env, instrumentation=instrumentation
+        )
     if role == "adaptive":
         return simulate_adaptive_attack_session(
-            processing_delay_s=delay_s, duration_s=duration_s, seed=seed
+            processing_delay_s=delay_s,
+            duration_s=duration_s,
+            seed=seed,
+            env=env,
+            instrumentation=instrumentation,
         )
     raise ValueError(f"unknown role {role!r}")
+
+
+def _simulate_session_task(payload: tuple) -> dict:
+    """One instrumented session: simulate, verify, ship metrics home.
+
+    Module-level and self-contained (picklable).  The worker builds its
+    *own* enabled :class:`~repro.obs.instrument.Instrumentation` — an
+    enabled handle never crosses a process boundary — and returns its
+    deterministic :class:`~repro.obs.metrics.MetricsSnapshot` plus the
+    buffered span records for the parent to merge in submission order
+    (what keeps ``--jobs N`` output bit-identical to ``--jobs 1``).
+    """
+    bank, config, env, role, delay_s, duration_s, seed = payload
+    from .core.pipeline import ChatVerifier
+    from .obs import Instrumentation
+
+    instr = Instrumentation.enabled()
+    with instr.span("session", stage="simulate", role=role, seed=seed):
+        record = _simulate(
+            role, seed, duration_s, delay_s, env=env, instrumentation=instr
+        )
+        verifier = ChatVerifier(config, instrumentation=instr)
+        verifier.detector.fit(bank)
+        report = verifier.verify_session(record)
+    return {
+        "role": role,
+        "seed": seed,
+        "verdict": "ATTACKER" if report.is_attacker else "live",
+        "clips": len(report.attempts),
+        "snapshot": instr.snapshot(),
+        "spans": instr.drain_spans(),
+    }
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -97,6 +148,96 @@ def cmd_verify(args: argparse.Namespace) -> int:
         f"({verdict.verdict.reject_votes}/{verdict.verdict.total_votes} reject votes)"
     )
     return 1 if verdict.is_attacker else 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run an instrumented batch of verified chat sessions.
+
+    The observability showcase: every session runs under a full
+    :class:`~repro.obs.instrument.Instrumentation` handle, spans cover
+    the whole pipeline (simulate -> luminance -> preprocessing ->
+    matching -> verdict), ``--trace`` streams them to JSONL, and
+    ``--metrics`` prints the merged deterministic registry — bit-identical
+    at any ``--jobs`` count.
+    """
+    import contextlib
+    import dataclasses as dc
+
+    from .core.config import DetectorConfig
+    from .engine import task_rng
+    from .experiments.faultmatrix import _enrollment_bank
+    from .experiments.profiles import DEFAULT_ENVIRONMENT
+    from .experiments.simulate import default_user
+    from .obs import (
+        Instrumentation,
+        JsonlTraceSink,
+        render_json,
+        render_prometheus,
+    )
+
+    # Small frames keep the batch interactive; detection quality is
+    # unaffected (the ROI probe only needs the nasal bridge resolved).
+    env = dc.replace(
+        DEFAULT_ENVIRONMENT,
+        frame_size=(args.frame, args.frame),
+        verifier_frame_size=(args.verifier_frame, args.verifier_frame),
+    )
+    config = DetectorConfig()
+    user = default_user()
+
+    with contextlib.ExitStack() as stack:
+        sink = None
+        if args.trace:
+            sink = stack.enter_context(JsonlTraceSink(args.trace))
+        instr = Instrumentation.enabled(sink=sink)
+        engine = stack.enter_context(
+            ExecutionEngine(jobs=args.jobs, instrumentation=instr)
+        )
+        with instr.span("simulate.batch", stage="simulate", sessions=args.sessions):
+            with instr.span("simulate.enroll", stage="simulate"):
+                bank = _enrollment_bank(
+                    config, env, user, args.enroll, args.seed, engine
+                )
+            payloads = [
+                (
+                    bank,
+                    config,
+                    env,
+                    args.role,
+                    args.delay,
+                    args.duration,
+                    int(task_rng(args.seed, 500, i).integers(0, 2**31 - 1)),
+                )
+                for i in range(args.sessions)
+            ]
+            rows = engine.map(_simulate_session_task, payloads, stage="sessions")
+        # Merge worker results in submission order: metric merge is
+        # associative, so this is the jobs-invariant reduction.
+        for row in rows:
+            instr.registry.merge_snapshot(row["snapshot"])
+            instr.tracer.adopt(row["spans"])
+        for row in rows:
+            print(
+                f"session seed={row['seed']:>10d} role={row['role']:>8s} "
+                f"clips={row['clips']} -> {row['verdict']}"
+            )
+        if args.trace:
+            print(f"trace written to {args.trace}")
+        if args.metrics == "json":
+            print(render_json(instr.snapshot()))
+        elif args.metrics == "prom":
+            print(render_prometheus(instr.snapshot()), end="")
+        if args.perf:
+            print()
+            print(engine.perf_report())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Aggregate a JSONL trace into per-stage latency percentiles."""
+    from .obs.trace_cli import run_trace
+
+    return run_trace(args)
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -187,6 +328,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--delay", type=float, default=1.0, help="adaptive forger's processing delay"
     )
     verify.set_defaults(func=cmd_verify)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="instrumented batch of verified sessions (spans + metrics)",
+    )
+    simulate.add_argument(
+        "--role",
+        choices=("genuine", "attack", "replay", "adaptive"),
+        default="genuine",
+    )
+    simulate.add_argument("--sessions", type=int, default=2, help="sessions to run")
+    simulate.add_argument(
+        "--duration", type=float, default=15.0, help="seconds of chat per session"
+    )
+    simulate.add_argument("--enroll", type=int, default=8, help="enrollment sessions")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--delay", type=float, default=1.0, help="adaptive forger's processing delay"
+    )
+    simulate.add_argument(
+        "--frame", type=int, default=72, help="prover frame edge (pixels)"
+    )
+    simulate.add_argument(
+        "--verifier-frame", type=int, default=48, help="verifier frame edge (pixels)"
+    )
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the execution engine (1 = serial; "
+        "results and merged metrics are identical at any job count)",
+    )
+    simulate.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write every pipeline span to this JSONL file (repro-trace-v1)",
+    )
+    simulate.add_argument(
+        "--metrics",
+        choices=("json", "prom"),
+        default=None,
+        help="print the merged metrics registry (deterministic across --jobs)",
+    )
+    simulate.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the engine's PerfReport after the batch",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="per-stage latency percentiles from a --trace JSONL file",
+    )
+    from .obs.trace_cli import add_trace_arguments
+
+    add_trace_arguments(trace)
+    trace.set_defaults(func=cmd_trace)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("--out", default="results")

@@ -15,6 +15,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from ..obs.instrument import Instrumentation
 from .config import DetectorConfig
 from .features import FeatureExtraction, FeatureVector, extract_features
 from .lof import LocalOutlierFactor
@@ -49,10 +50,20 @@ class LivenessDetector:
     ----------
     config:
         Pipeline constants; defaults to the paper's values.
+    instrumentation:
+        Optional observability handle; disabled (:data:`~repro.obs.
+        instrument.NULL`) when omitted.  Deliberately *not* part of
+        ``config``: the config's ``dataclasses.asdict`` fingerprint keys
+        the feature cache, and a handle is process-local state.
     """
 
-    def __init__(self, config: DetectorConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self.config = config or DetectorConfig()
+        self.instrumentation = Instrumentation.ensure(instrumentation)
         self._model = LocalOutlierFactor(n_neighbors=self.config.lof_neighbors)
 
     @property
@@ -126,9 +137,24 @@ class LivenessDetector:
         self,
         transmitted_luminance: np.ndarray,
         received_luminance: np.ndarray,
+        instrumentation: Instrumentation | None = None,
     ) -> DetectionResult:
-        """Full single-clip detection from raw luminance signals."""
-        extraction = extract_features(
-            transmitted_luminance, received_luminance, self.config
+        """Full single-clip detection from raw luminance signals.
+
+        ``instrumentation`` overrides the detector's own handle for this
+        call (the streaming verifier passes its handle through here).
+        """
+        instr = (
+            instrumentation if instrumentation is not None else self.instrumentation
         )
-        return self.verify_features(extraction.features, extraction)
+        with instr.span("detector.verify_clip", stage="verdict"):
+            extraction = extract_features(
+                transmitted_luminance,
+                received_luminance,
+                self.config,
+                instrumentation=instr,
+            )
+            result = self.verify_features(extraction.features, extraction)
+        verdict = "accept" if result.accepted else "reject"
+        instr.count("detector_clips_total", verdict=verdict)
+        return result

@@ -26,6 +26,7 @@ import dataclasses
 
 import numpy as np
 
+from ..obs.instrument import Instrumentation
 from .config import DetectorConfig
 from .delay import align_signals, estimate_delay
 from .dtw import dtw_distance
@@ -119,21 +120,36 @@ def extract_features(
     transmitted_luminance: np.ndarray,
     received_luminance: np.ndarray,
     config: DetectorConfig | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> FeatureExtraction:
     """Full Sec. V + Sec. VI pipeline on a pair of raw luminance signals."""
     config = config or DetectorConfig()
-    pre_t = preprocess(transmitted_luminance, config, config.peak_prominence_screen)
-    pre_r = preprocess(received_luminance, config, config.peak_prominence_face)
-    return features_from_signals(pre_t, pre_r, config)
+    instr = Instrumentation.ensure(instrumentation)
+    with instr.span("features.preprocess", stage="preprocessing"):
+        pre_t = preprocess(transmitted_luminance, config, config.peak_prominence_screen)
+        pre_r = preprocess(received_luminance, config, config.peak_prominence_face)
+    return features_from_signals(pre_t, pre_r, config, instrumentation=instr)
 
 
 def features_from_signals(
     pre_t: PreprocessedSignal,
     pre_r: PreprocessedSignal,
     config: DetectorConfig | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> FeatureExtraction:
     """Sec. VI features from two already-preprocessed signals."""
     config = config or DetectorConfig()
+    instr = Instrumentation.ensure(instrumentation)
+    with instr.span("features.match", stage="matching"):
+        return _features_from_signals(pre_t, pre_r, config, instr)
+
+
+def _features_from_signals(
+    pre_t: PreprocessedSignal,
+    pre_r: PreprocessedSignal,
+    config: DetectorConfig,
+    instr: Instrumentation,
+) -> FeatureExtraction:
 
     # Boundary guard: a transmitted change too close to the clip end has
     # its reflection truncated by the segmentation; a received change too
@@ -198,6 +214,8 @@ def features_from_signals(
         z4 = float(max(t_norm.size, 1)) / config.dtw_scale
 
     features = FeatureVector(z1=z1, z2=z2, z3=float(z3), z4=float(z4))
+    instr.count("features_clips_total")
+    instr.count("features_matched_changes_total", len(matches))
     return FeatureExtraction(
         features=features,
         transmitted=pre_t,

@@ -20,6 +20,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..chat.session import SessionRecord
+from ..obs.instrument import Instrumentation
 from ..video.stream import VideoStream
 from ..vision.landmarks import LandmarkDetector
 from .config import DetectorConfig
@@ -80,10 +81,12 @@ class ChatVerifier:
         self,
         config: DetectorConfig | None = None,
         landmark_detector: LandmarkDetector | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.config = config or DetectorConfig()
         self.landmark_detector = landmark_detector or LandmarkDetector()
-        self.detector = LivenessDetector(self.config)
+        self.instrumentation = Instrumentation.ensure(instrumentation)
+        self.detector = LivenessDetector(self.config, self.instrumentation)
         self.combiner = VotingCombiner(self.config.vote_fraction)
 
     # ------------------------------------------------------------------
@@ -98,10 +101,13 @@ class ChatVerifier:
         """Resample both streams to the working rate and extract the two
         raw luminance signals, trimmed to a common length."""
         rate = self.config.sample_rate_hz
-        t_stream = transmitted if transmitted.fps == rate else transmitted.resampled(rate)
-        r_stream = received if received.fps == rate else received.resampled(rate)
-        t_lum = transmitted_luminance_signal(t_stream)
-        r_lum = received_luminance_signal(r_stream, self.landmark_detector).luminance
+        with self.instrumentation.span("verifier.extract_signals", stage="luminance"):
+            t_stream = (
+                transmitted if transmitted.fps == rate else transmitted.resampled(rate)
+            )
+            r_stream = received if received.fps == rate else received.resampled(rate)
+            t_lum = transmitted_luminance_signal(t_stream)
+            r_lum = received_luminance_signal(r_stream, self.landmark_detector).luminance
         n = min(t_lum.size, r_lum.size)
         return t_lum[:n], r_lum[:n]
 
@@ -156,16 +162,20 @@ class ChatVerifier:
         record: SessionRecord,
     ) -> VerificationReport:
         """Segment a session into clips, verify each, majority-vote."""
-        attempts = [
-            self.verify_clip(t_clip, r_clip)
-            for t_clip, r_clip in self._paired_clips(record.transmitted, record.received)
-        ]
-        if not attempts:
-            raise ValueError(
-                "session shorter than one detection clip "
-                f"({self.config.clip_duration_s}s)"
-            )
-        verdict = self.combiner.combine(attempts)
+        with self.instrumentation.span("verifier.verify_session", stage="verdict"):
+            attempts = [
+                self.verify_clip(t_clip, r_clip)
+                for t_clip, r_clip in self._paired_clips(
+                    record.transmitted, record.received
+                )
+            ]
+            if not attempts:
+                raise ValueError(
+                    "session shorter than one detection clip "
+                    f"({self.config.clip_duration_s}s)"
+                )
+            verdict = self.combiner.combine(attempts)
+        self._count_session(verdict)
         return VerificationReport(verdict=verdict, attempts=tuple(attempts))
 
     def verify_session_diagnosed(
@@ -197,6 +207,7 @@ class ChatVerifier:
                 f"({self.config.clip_duration_s}s)"
             )
         verdict = self.combiner.combine(attempts) if attempts else None
+        self._count_session(verdict)
         return VerificationReport(
             verdict=verdict,
             attempts=tuple(attempts),
@@ -204,6 +215,15 @@ class ChatVerifier:
         )
 
     # ------------------------------------------------------------------
+
+    def _count_session(self, verdict: Verdict | None) -> None:
+        if verdict is None:
+            outcome = "inconclusive"
+        elif verdict.is_attacker:
+            outcome = "attacker"
+        else:
+            outcome = "legitimate"
+        self.instrumentation.count("verifier_sessions_total", verdict=outcome)
 
     def _paired_clips(
         self,

@@ -39,6 +39,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.instrument import Instrumentation
 from ..video.frame import Frame
 from ..video.luminance import frame_mean_luminance
 from ..vision.landmarks import LandmarkDetector
@@ -199,6 +200,13 @@ class StreamingVerifier:
     on_alert:
         Callback invoked exactly once when the status first becomes
         :attr:`CallStatus.ATTACKER`; receives the final state.
+    instrumentation:
+        Optional observability handle.  Per-clip gate outcomes land in
+        ``streaming_attempts_total{verdict=}`` and
+        ``streaming_quality_issues_total{issue=}`` (so
+        ``challenge_obscured`` / ``spurious_received_change`` counts are
+        visible per run); alerts in ``streaming_alerts_total``.  The
+        per-frame ``push`` path is deliberately not instrumented.
     """
 
     def __init__(
@@ -207,6 +215,7 @@ class StreamingVerifier:
         landmark_detector: LandmarkDetector | None = None,
         vote_window: int | None = None,
         on_alert: Callable[[StreamingState], None] | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if not detector.is_trained:
             raise ValueError("the liveness detector must be trained first")
@@ -217,6 +226,7 @@ class StreamingVerifier:
         self.landmark_detector = landmark_detector or LandmarkDetector()
         self.vote_window = vote_window
         self.on_alert = on_alert
+        self.instrumentation = Instrumentation.ensure(instrumentation)
         self.combiner = VotingCombiner(self.config.vote_fraction)
 
         self._t_samples: list[float] = []
@@ -297,18 +307,24 @@ class StreamingVerifier:
         self._lead_misses = 0
         self._clip_hits = 0
         self._clip_frozen = 0
-        result = self.detector.verify_clip(t_lum, r_lum)
-        attempt = GatedAttempt(
-            result=result,
-            quality=self._grade(
-                result, hits=hits, frozen=frozen, samples=samples, stale=stale
-            ),
-        )
+        instr = self.instrumentation
+        with instr.span("streaming.attempt", stage="verdict"):
+            result = self.detector.verify_clip(t_lum, r_lum, instrumentation=instr)
+            attempt = GatedAttempt(
+                result=result,
+                quality=self._grade(
+                    result, hits=hits, frozen=frozen, samples=samples, stale=stale
+                ),
+            )
+        instr.count("streaming_attempts_total", verdict=attempt.verdict.value)
+        for issue in attempt.quality.issues:
+            instr.count("streaming_quality_issues_total", issue=issue.name.lower())
         self._attempts.append(attempt)
         if self.on_alert is not None and not self._alerted:
             state = self.state
             if state.status is CallStatus.ATTACKER:
                 self._alerted = True
+                instr.count("streaming_alerts_total")
                 self.on_alert(state)
         return attempt
 

@@ -38,6 +38,8 @@ import numpy as np
 
 from ..core.config import DetectorConfig
 from ..core.features import FeatureVector, extract_features
+from ..obs.instrument import Instrumentation
+from ..obs.metrics import MetricsSnapshot
 from .cache import FeatureCache
 from .perf import PerfRecorder, PerfReport
 
@@ -79,6 +81,13 @@ class ExecutionEngine(AbstractContextManager):
         let sweeps reuse each other's extractions.
     max_cache_entries:
         Bound for the private cache (ignored when ``cache`` is given).
+    instrumentation:
+        Optional :class:`~repro.obs.instrument.Instrumentation`.  Its
+        tracer (when present) records ``engine.<stage>`` spans around
+        every mapped stage; its registry is ignored in favour of the
+        engine's own perf registry so that :attr:`instrumentation` —
+        the handle instrumented pipelines should use — feeds the same
+        series :meth:`perf_report` renders from.
     """
 
     def __init__(
@@ -86,12 +95,19 @@ class ExecutionEngine(AbstractContextManager):
         jobs: int = 1,
         cache: FeatureCache | None = None,
         max_cache_entries: int | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache if cache is not None else FeatureCache(max_cache_entries)
         self._recorder = PerfRecorder()
+        external = Instrumentation.ensure(instrumentation)
+        #: The handle pipelines running under this engine should record
+        #: through: the engine's perf registry plus the caller's tracer.
+        self.instrumentation = Instrumentation(
+            registry=self._recorder.registry, tracer=external.tracer
+        )
         self._pool: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -112,7 +128,10 @@ class ExecutionEngine(AbstractContextManager):
         smuggle state into workers.
         """
         tasks = list(tasks)
-        with self._recorder.stage(stage, tasks=len(tasks)):
+        span = self.instrumentation.span(
+            f"engine.{stage}", stage="engine", tasks=len(tasks), jobs=self.jobs
+        )
+        with span, self._recorder.stage(stage, tasks=len(tasks)):
             if self.jobs == 1 or len(tasks) <= 1:
                 return [fn(task) for task in tasks]
             if chunksize is None:
@@ -128,6 +147,13 @@ class ExecutionEngine(AbstractContextManager):
         """Bump a named event counter in the perf report (e.g. the
         streaming quality gate's ``clips_inconclusive``)."""
         self._recorder.count(name, n)
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's :class:`MetricsSnapshot` into this engine's
+        registry.  Merging worker snapshots in submission order is the
+        associative path that keeps ``jobs=N`` metrics bit-identical to
+        ``jobs=1`` (enabled handles themselves never cross processes)."""
+        self._recorder.registry.merge_snapshot(snapshot)
 
     # ------------------------------------------------------------------
     # Cached feature extraction
@@ -156,7 +182,10 @@ class ExecutionEngine(AbstractContextManager):
         Duplicate pairs within one batch are extracted once.
         """
         keys = [self.cache.key_for(t, r, config) for t, r in pairs]
-        with self._recorder.stage(stage, tasks=len(pairs)):
+        span = self.instrumentation.span(
+            f"engine.{stage}", stage="engine", tasks=len(pairs), jobs=self.jobs
+        )
+        with span, self._recorder.stage(stage, tasks=len(pairs)):
             found: dict[str, FeatureVector] = {}
             pending: set[str] = set()
             miss_keys: list[str] = []

@@ -6,18 +6,31 @@ simulation, feature extraction, protocol rounds, aggregation) is timed,
 cache traffic is counted, and the whole picture is exportable as one
 frozen :class:`PerfReport` that the CLI can print after a run.
 
-The mutable side lives in :class:`PerfRecorder` (owned by the engine);
-the immutable snapshot handed to callers is :class:`PerfReport`.
+Since the observability subsystem landed, :class:`PerfRecorder` is a
+*view* over a :class:`~repro.obs.metrics.MetricsRegistry`: stage calls,
+wall time and task counts live in ``engine_stage_*`` series, event
+counters (e.g. the fault matrix's ``clips_*``) are plain registry
+counters, and :class:`PerfReport` renders from those series.  There is
+exactly one counter API underneath — the registry's — and the report
+stays the printable shape it always was.  Timing is read through the
+:mod:`repro.obs.clock` abstraction, never from ``time.*`` directly.
 """
 
 from __future__ import annotations
 
 import contextlib
 import dataclasses
-import time
 from collections.abc import Iterator
 
+from ..obs.clock import MONOTONIC_CLOCK, Clock
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["StagePerf", "PerfReport", "PerfRecorder"]
+
+#: Registry series backing the per-stage view.
+_STAGE_CALLS = "engine_stage_calls_total"
+_STAGE_TASKS = "engine_stage_tasks_total"
+_STAGE_WALL = "engine_stage_wall_seconds_total"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,11 +67,14 @@ class PerfReport:
 
     @property
     def cache_hit_rate(self) -> float:
+        # Guarded: an empty run (no lookups) is a 0.0 rate, not a crash.
         lookups = self.cache_lookups
-        return self.cache_hits / lookups if lookups else 0.0
+        return self.cache_hits / lookups if lookups > 0 else 0.0
 
     @property
     def tasks_per_sec(self) -> float:
+        # Guarded: a zero-duration run (empty, or a ManualClock that
+        # never advanced) reports 0.0 instead of dividing by zero.
         return self.tasks_completed / self.wall_s if self.wall_s > 0 else 0.0
 
     def lines(self) -> list[str]:
@@ -90,67 +106,82 @@ class PerfReport:
         return "\n".join(self.lines())
 
 
-class _StageCounters:
-    __slots__ = ("calls", "wall_s", "tasks")
-
-    def __init__(self) -> None:
-        self.calls = 0
-        self.wall_s = 0.0
-        self.tasks = 0
-
-
 class PerfRecorder:
-    """Mutable counters behind :class:`PerfReport`.
+    """Mutable counters behind :class:`PerfReport`, registry-backed.
 
     Stage order is preserved (first time a stage reports, it gets a row),
-    so reports read in pipeline order.
+    so reports read in pipeline order.  The underlying
+    :class:`MetricsRegistry` is shared with the engine's
+    :class:`~repro.obs.instrument.Instrumentation` handle, so event
+    counters recorded through either API land in the same series.
     """
 
-    def __init__(self) -> None:
-        self._stages: dict[str, _StageCounters] = {}
-        self._started = time.perf_counter()
-        self._tasks_completed = 0
-        self._counters: dict[str, int] = {}
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._stage_order: list[str] = []
+        self._started = self._clock.now()
 
     def reset(self) -> None:
-        self._stages.clear()
-        self._started = time.perf_counter()
-        self._tasks_completed = 0
-        self._counters.clear()
+        self.registry.clear()
+        self._stage_order.clear()
+        self._started = self._clock.now()
 
     def count(self, name: str, n: int = 1) -> None:
         """Bump a named event counter (surfaced in the report)."""
-        self._counters[name] = self._counters.get(name, 0) + n
+        self.registry.counter(name).inc(n)
 
     @contextlib.contextmanager
     def stage(self, name: str, tasks: int = 0) -> Iterator[None]:
         """Time one call of the named stage; ``tasks`` counts work items."""
-        counters = self._stages.setdefault(name, _StageCounters())
-        t0 = time.perf_counter()
+        if name not in self._stage_order:
+            self._stage_order.append(name)
+        t0 = self._clock.now()
         try:
             yield
         finally:
-            counters.calls += 1
-            counters.wall_s += time.perf_counter() - t0
-            counters.tasks += tasks
-            self._tasks_completed += tasks
+            self.registry.counter(_STAGE_CALLS, stage=name).inc()
+            self.registry.counter(_STAGE_WALL, stage=name).inc(self._clock.now() - t0)
+            if tasks:
+                self.registry.counter(_STAGE_TASKS, stage=name).inc(tasks)
 
     def add_tasks(self, name: str, tasks: int) -> None:
         """Count extra work items against an (already timed) stage."""
-        counters = self._stages.setdefault(name, _StageCounters())
-        counters.tasks += tasks
-        self._tasks_completed += tasks
+        if name not in self._stage_order:
+            self._stage_order.append(name)
+        self.registry.counter(_STAGE_TASKS, stage=name).inc(tasks)
+
+    def _series_value(self, name: str, stage: str) -> float:
+        found = self.registry.get(name, stage=stage)
+        return found.value if found is not None else 0
 
     def snapshot(self, jobs: int, cache_hits: int, cache_misses: int) -> PerfReport:
+        stages = tuple(
+            StagePerf(
+                name=name,
+                calls=int(self._series_value(_STAGE_CALLS, name)),
+                wall_s=float(self._series_value(_STAGE_WALL, name)),
+                tasks=int(self._series_value(_STAGE_TASKS, name)),
+            )
+            for name in self._stage_order
+        )
+        counters = {
+            series.name: int(series.value)
+            for series in self.registry.snapshot().series
+            if series.kind == "counter"
+            and not series.labels
+            and not series.name.startswith("engine_stage_")
+        }
         return PerfReport(
             jobs=jobs,
-            wall_s=time.perf_counter() - self._started,
-            stages=tuple(
-                StagePerf(name=name, calls=c.calls, wall_s=c.wall_s, tasks=c.tasks)
-                for name, c in self._stages.items()
-            ),
+            wall_s=self._clock.now() - self._started,
+            stages=stages,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
-            tasks_completed=self._tasks_completed,
-            counters=dict(self._counters),
+            tasks_completed=sum(stage.tasks for stage in stages),
+            counters=counters,
         )

@@ -33,6 +33,7 @@ from ..attack.reenactment import ReenactmentAttacker
 from ..attack.target import TargetRecording
 from ..engine import ExecutionEngine, task_rng
 from ..faults import FaultSpec, apply_faults_to_record, build_faulty_links
+from ..obs.instrument import Instrumentation
 from .dataset import ATTACK, GENUINE
 from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile
 from .runner import _map
@@ -91,6 +92,7 @@ def simulate_faulted_session(
     seed: int = 0,
     env: Environment | None = None,
     user: UserProfile | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """One chat session with a seeded fault schedule riding the path.
 
@@ -105,21 +107,24 @@ def simulate_faulted_session(
     s_prover, s_verifier, s_links, s_faults = spawn_seeds(seed, 4)
     prover = _build_prover(role, user, env, s_prover)
     verifier = build_verifier(env, s_verifier)
-    uplink, downlink = build_links(env, s_links)
+    uplink, downlink = build_links(env, s_links, instrumentation)
     session = VideoChatSession(
         verifier=verifier,
         prover=prover,
         uplink=uplink,
         downlink=downlink,
         fps=env.fps,
+        instrumentation=instrumentation,
     )
     # Frame timestamps are absolute (warm-up included) and arrivals run a
     # little behind the send clock, so the schedule covers the whole run
     # plus a de-jitter margin; `tick_of` clamps anything later.
     schedule = spec.schedule(session.warmup_s + duration_s + 5.0, env.fps, seed=s_faults)
-    session.uplink, session.downlink = build_faulty_links(uplink, downlink, schedule)
+    session.uplink, session.downlink = build_faulty_links(
+        uplink, downlink, schedule, instrumentation
+    )
     record = session.run(duration_s)
-    return apply_faults_to_record(record, schedule)
+    return apply_faults_to_record(record, schedule, instrumentation)
 
 
 # ----------------------------------------------------------------------
@@ -319,10 +324,14 @@ def run_fault_matrix(
             )
         )
     if engine is not None:
-        engine.count("clips_total", sum(c.attempts_total for c in cells))
-        engine.count("clips_inconclusive", sum(c.attempts_inconclusive for c in cells))
-        engine.count("clips_rejected", sum(c.attempts_rejected for c in cells))
-        engine.count("fault_sessions", sum(c.sessions for c in cells))
+        # One counter API: the registry behind engine.instrumentation is
+        # the same one PerfReport renders from, so these still show up in
+        # `repro faults --perf` exactly as before.
+        instr = engine.instrumentation
+        instr.count("clips_total", sum(c.attempts_total for c in cells))
+        instr.count("clips_inconclusive", sum(c.attempts_inconclusive for c in cells))
+        instr.count("clips_rejected", sum(c.attempts_rejected for c in cells))
+        instr.count("fault_sessions", sum(c.sessions for c in cells))
     return FaultMatrixResult(
         spec=spec,
         severities=severities,

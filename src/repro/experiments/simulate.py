@@ -23,6 +23,7 @@ from ..core.seeding import spawn_seeds
 from ..net.channel import NetworkChannel
 from ..net.jitterbuffer import JitterBuffer
 from ..net.link import MediaLink
+from ..obs.instrument import Instrumentation
 from ..screen.illumination import AmbientLight
 from ..vision.expression import ExpressionTrack
 from ..vision.face_model import make_face
@@ -118,7 +119,11 @@ def _playout_delay(base_delay_s: float, jitter_s: float, env: Environment) -> fl
     return max(env.playout_delay_s, base_delay_s + 2.0 * jitter_s + 0.02)
 
 
-def build_links(env: Environment, seed: int) -> tuple[MediaLink, MediaLink]:
+def build_links(
+    env: Environment,
+    seed: int,
+    instrumentation: Instrumentation | None = None,
+) -> tuple[MediaLink, MediaLink]:
     """The two directions of the network path."""
     s_up, s_down = spawn_seeds(seed, 2)
     uplink = MediaLink(
@@ -127,6 +132,7 @@ def build_links(env: Environment, seed: int) -> tuple[MediaLink, MediaLink]:
             jitter_s=env.jitter_s,
             loss_rate=env.loss_rate,
             seed=s_up,
+            instrumentation=instrumentation,
         ),
         jitter_buffer=JitterBuffer(
             playout_delay_s=_playout_delay(env.uplink_delay_s, env.jitter_s, env)
@@ -138,6 +144,7 @@ def build_links(env: Environment, seed: int) -> tuple[MediaLink, MediaLink]:
             jitter_s=env.jitter_s,
             loss_rate=env.loss_rate,
             seed=s_down,
+            instrumentation=instrumentation,
         ),
         jitter_buffer=JitterBuffer(
             playout_delay_s=_playout_delay(env.downlink_delay_s, env.jitter_s, env)
@@ -151,17 +158,19 @@ def run_session(
     env: Environment,
     seed: int,
     duration_s: float,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """Wire a verifier against the given prover and run the clock."""
     s_verifier, s_links = spawn_seeds(seed, 2)
     verifier = build_verifier(env, s_verifier)
-    uplink, downlink = build_links(env, s_links)
+    uplink, downlink = build_links(env, s_links, instrumentation)
     session = VideoChatSession(
         verifier=verifier,
         prover=prover,
         uplink=uplink,
         downlink=downlink,
         fps=env.fps,
+        instrumentation=instrumentation,
     )
     return session.run(duration_s)
 
@@ -171,13 +180,14 @@ def simulate_genuine_session(
     seed: int = 0,
     env: Environment | None = None,
     user: UserProfile | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """A chat where the untrusted user really is a live person."""
     env = env or DEFAULT_ENVIRONMENT
     user = user or default_user()
     s_prover, s_session = spawn_seeds(seed, 2)
     prover = build_genuine_prover(user, env, s_prover)
-    return run_session(prover, env, s_session, duration_s)
+    return run_session(prover, env, s_session, duration_s, instrumentation)
 
 
 def _target_for(user: UserProfile, seed: int) -> TargetRecording:
@@ -191,6 +201,7 @@ def simulate_attack_session(
     env: Environment | None = None,
     victim: UserProfile | None = None,
     artifact_level: float = 0.012,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """A chat where the untrusted side runs face reenactment."""
     env = env or DEFAULT_ENVIRONMENT
@@ -202,7 +213,7 @@ def simulate_attack_session(
         frame_size=env.frame_size,
         seed=s_attacker,
     )
-    return run_session(attacker, env, s_session, duration_s)
+    return run_session(attacker, env, s_session, duration_s, instrumentation)
 
 
 def simulate_adaptive_attack_session(
@@ -211,6 +222,7 @@ def simulate_adaptive_attack_session(
     seed: int = 0,
     env: Environment | None = None,
     victim: UserProfile | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """The Sec. VIII-J strong attacker forging the reflection with delay."""
     env = env or DEFAULT_ENVIRONMENT
@@ -225,7 +237,7 @@ def simulate_adaptive_attack_session(
         mimic_distance_m=env.viewing_distance_m,
         ambient_lux=env.prover_ambient_lux,
     )
-    return run_session(attacker, env, s_session, duration_s)
+    return run_session(attacker, env, s_session, duration_s, instrumentation)
 
 
 def simulate_replay_attack_session(
@@ -233,6 +245,7 @@ def simulate_replay_attack_session(
     seed: int = 0,
     env: Environment | None = None,
     victim: UserProfile | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """A classic media replay of the victim's own footage."""
     env = env or DEFAULT_ENVIRONMENT
@@ -243,4 +256,4 @@ def simulate_replay_attack_session(
         frame_size=env.frame_size,
         seed=s_attacker,
     )
-    return run_session(attacker, env, s_session, duration_s)
+    return run_session(attacker, env, s_session, duration_s, instrumentation)

@@ -28,6 +28,7 @@ from ..chat.session import SessionRecord
 from ..net.channel import DeliveredPacket, NetworkChannel
 from ..net.link import MediaLink
 from ..net.packet import Packet
+from ..obs.instrument import Instrumentation
 from ..video.frame import Frame
 from ..video.stream import VideoStream
 from .schedule import FaultSchedule
@@ -44,9 +45,15 @@ class FaultyChannel:
     unchanged.
     """
 
-    def __init__(self, inner: NetworkChannel, schedule: FaultSchedule) -> None:
+    def __init__(
+        self,
+        inner: NetworkChannel,
+        schedule: FaultSchedule,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self.inner = inner
         self.schedule = schedule
+        self._instr = Instrumentation.ensure(instrumentation)
 
     @property
     def stats(self):
@@ -64,10 +71,14 @@ class FaultyChannel:
         if self.schedule.loss_burst[tick]:
             if delivered is not None:
                 self.inner.stats.lost += 1
+            self._instr.count("faults_injected_total", kind="loss_burst")
             return None
         if delivered is None:
             return None
-        arrival = delivered.arrival_time + float(self.schedule.jitter_extra_s[tick])
+        extra = float(self.schedule.jitter_extra_s[tick])
+        if extra > 0.0:
+            self._instr.count("faults_injected_total", kind="jitter_spike")
+        arrival = delivered.arrival_time + extra
         arrival *= 1.0 + self.schedule.clock_skew
         return DeliveredPacket(packet=delivered.packet, arrival_time=arrival)
 
@@ -84,6 +95,7 @@ def build_faulty_links(
     uplink: MediaLink,
     downlink: MediaLink,
     schedule: FaultSchedule,
+    instrumentation: Instrumentation | None = None,
 ) -> tuple[MediaLink, MediaLink]:
     """Wrap both directions of an existing link pair with one schedule.
 
@@ -97,7 +109,7 @@ def build_faulty_links(
             packetizer=link.packetizer,
             jitter_buffer=link.jitter_buffer,
         )
-        wrapped.channel = FaultyChannel(link.channel, schedule)
+        wrapped.channel = FaultyChannel(link.channel, schedule, instrumentation)
         return wrapped
 
     return _wrap(uplink), _wrap(downlink)
@@ -106,6 +118,7 @@ def build_faulty_links(
 def apply_faults_to_record(
     record: SessionRecord,
     schedule: FaultSchedule,
+    instrumentation: Instrumentation | None = None,
 ) -> SessionRecord:
     """Replay receiver-side vision faults over a finished session.
 
@@ -137,6 +150,11 @@ def apply_faults_to_record(
             dropout_ticks += 1
         received.append(frame)
         previous = frame
+    instr = Instrumentation.ensure(instrumentation)
+    if frozen_ticks:
+        instr.count("faults_injected_total", frozen_ticks, kind="freeze")
+    if dropout_ticks:
+        instr.count("faults_injected_total", dropout_ticks, kind="landmark_dropout")
     stats = dict(
         record.stats,
         fault_frozen_ticks=frozen_ticks,

@@ -16,6 +16,7 @@ import dataclasses
 
 import numpy as np
 
+from ..obs.instrument import Instrumentation
 from .packet import Packet
 
 __all__ = ["DeliveredPacket", "NetworkChannel", "ChannelStats"]
@@ -55,6 +56,10 @@ class NetworkChannel:
         Independent per-packet loss probability.
     seed:
         Seed of the channel's generator.
+    instrumentation:
+        Optional observability handle; packet/loss counts and the seeded
+        jitter draws (deterministic, so registry-safe) are recorded under
+        ``net_*`` series when enabled.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class NetworkChannel:
         jitter_s: float = 0.01,
         loss_rate: float = 0.0,
         seed: int = 0,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if base_delay_s < 0 or jitter_s < 0:
             raise ValueError("delays must be non-negative")
@@ -71,6 +77,7 @@ class NetworkChannel:
         self.base_delay_s = base_delay_s
         self.jitter_s = jitter_s
         self.loss_rate = loss_rate
+        self._instr = Instrumentation.ensure(instrumentation)
         self._rng = np.random.default_rng(seed)
         self.stats = ChannelStats()
 
@@ -85,8 +92,12 @@ class NetworkChannel:
         # sequence — the property fault ablations compare runs under.
         loss_draw = self._rng.random()
         jitter = float(self._rng.exponential(self.jitter_s))
+        if self._instr.is_enabled:
+            self._instr.count("net_packets_sent_total")
+            self._instr.observe("net_jitter_seconds", jitter)
         if loss_draw < self.loss_rate:
             self.stats.lost += 1
+            self._instr.count("net_packets_lost_total")
             return None
         return DeliveredPacket(
             packet=packet,

@@ -1,0 +1,68 @@
+"""Observability subsystem: metrics registry, span tracing, exporters.
+
+Public surface:
+
+* :class:`Instrumentation` / :data:`NULL` — the one handle instrumented
+  code holds (zero-overhead when disabled).
+* :class:`MetricsRegistry`, :class:`MetricsSnapshot` — counters, gauges,
+  fixed-bucket histograms with an associative, bit-identical merge.
+* :class:`Tracer`, :class:`JsonlTraceSink`, :func:`read_trace` — span
+  tracing with the stable ``repro-trace-v1`` JSONL schema.
+* :func:`render_prometheus` / :func:`render_json` — text exporters.
+* :class:`ManualClock` / :data:`MONOTONIC_CLOCK` — the clock abstraction
+  (``obs/clock.py`` is the subsystem's only direct ``time.*`` site).
+
+Design rule: registry contents are *deterministic* quantities only;
+wall-clock durations travel in spans.  See DESIGN.md §3e.
+"""
+
+from .clock import MONOTONIC_CLOCK, Clock, ManualClock, MonotonicClock
+from .export import render_json, render_prometheus
+from .instrument import NULL, Instrumentation
+from .metrics import (
+    DEFAULT_FRACTION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SeriesSnapshot,
+    quantile_from_buckets,
+)
+from .tracing import (
+    PIPELINE_STAGES,
+    TRACE_SCHEMA,
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    Tracer,
+    read_trace,
+    validate_trace_record,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_FRACTION_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "InMemoryTraceSink",
+    "Instrumentation",
+    "JsonlTraceSink",
+    "MONOTONIC_CLOCK",
+    "ManualClock",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MonotonicClock",
+    "NULL",
+    "PIPELINE_STAGES",
+    "SeriesSnapshot",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "quantile_from_buckets",
+    "read_trace",
+    "render_json",
+    "render_prometheus",
+    "validate_trace_record",
+]

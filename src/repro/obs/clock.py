@@ -1,0 +1,64 @@
+"""The one blessed wall-clock site of the observability subsystem.
+
+Everything in ``repro.obs`` (and the engine's :class:`~repro.engine.perf.
+PerfRecorder`) measures durations through the :class:`Clock` protocol
+instead of calling ``time.*`` directly.  That buys two things:
+
+* **Determinism in tests** — a :class:`ManualClock` makes span durations
+  and perf wall times exact, so timing-shaped code paths can be asserted
+  bit-for-bit instead of with sleeps and tolerances.
+* **A single audit point** — reprolint's R002 allows direct ``time.*``
+  reads only here (and in the historical ``engine/perf.py`` site); any
+  other module reaching for the wall clock is a lint finding.
+
+Timing is *observability only*: no simulation result may depend on a
+clock reading, which is why the abstraction lives in ``obs`` and not in
+the core pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "ManualClock", "MonotonicClock", "MONOTONIC_CLOCK"]
+
+
+class Clock(Protocol):
+    """Source of monotonic timestamps in seconds."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+
+class MonotonicClock:
+    """Real monotonic time via ``time.perf_counter``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "MonotonicClock()"
+
+
+class ManualClock:
+    """Deterministic clock for tests: advances only when told to."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now})"
+
+
+#: Shared process-wide real clock (stateless, so sharing is free).
+MONOTONIC_CLOCK = MonotonicClock()

@@ -1,0 +1,82 @@
+"""Render a :class:`~repro.obs.metrics.MetricsSnapshot` as text.
+
+Two formats:
+
+* :func:`render_prometheus` — the Prometheus exposition text format
+  (``# TYPE`` headers, ``{label="value"}`` series, cumulative
+  ``_bucket``/``_sum``/``_count`` for histograms).  Deterministic: series
+  come out in the snapshot's canonical order.
+* :func:`render_json` — the snapshot's dict form as stable JSON
+  (sorted keys, 2-space indent), for machine diffing — this is what the
+  pool-vs-serial identity check compares.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .metrics import MetricsSnapshot, SeriesSnapshot
+
+__all__ = ["render_prometheus", "render_json"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    if _NAME_OK.match(name):
+        return name
+    cleaned = _SANITIZE.sub("_", name)
+    return cleaned if not cleaned[:1].isdigit() else "_" + cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _render_histogram(series: SeriesSnapshot, name: str, lines: list[str]) -> None:
+    cumulative = 0
+    for bound, count in zip(series.bounds, series.bucket_counts):
+        cumulative += count
+        le = 'le="{:g}"'.format(bound)
+        lines.append(f"{name}_bucket{_label_text(series.labels, le)} {cumulative}")
+    cumulative += series.bucket_counts[-1]
+    le_inf = 'le="+Inf"'
+    lines.append(f"{name}_bucket{_label_text(series.labels, le_inf)} {cumulative}")
+    lines.append(f"{name}_sum{_label_text(series.labels)} {_format_value(series.sum)}")
+    lines.append(f"{name}_count{_label_text(series.labels)} {series.count}")
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The snapshot in Prometheus exposition text format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for series in snapshot.series:
+        name = _metric_name(series.name)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {series.kind}")
+        if series.kind == "histogram":
+            _render_histogram(series, name, lines)
+        else:
+            lines.append(
+                f"{name}{_label_text(series.labels)} {_format_value(series.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: MetricsSnapshot) -> str:
+    """The snapshot as stable, diffable JSON."""
+    return json.dumps(snapshot.to_dict(), sort_keys=True, indent=2)

@@ -1,0 +1,158 @@
+"""The one handle instrumented code holds: metrics + tracing, or nothing.
+
+Every instrumented constructor takes ``instrumentation: Instrumentation
+| None = None`` and normalizes it with :data:`NULL` — so the hot path
+never branches on ``None`` and the disabled case costs one attribute
+read plus a no-op call (the smoke benchmark bounds it at <5 % of the
+simulate path).
+
+An enabled handle is **process-local**: its registry and tracer live in
+this process.  Shipping one to an ``ExecutionEngine`` worker would fork
+the state and silently drop whatever the worker records, so pickling an
+enabled handle raises; workers build their own handle and return a
+:class:`~repro.obs.metrics.MetricsSnapshot` (plus buffered span records)
+for the parent to merge — the pattern ``repro simulate --jobs N`` uses
+to stay bit-identical with serial runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .clock import Clock
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracing import InMemoryTraceSink, Tracer, TraceSink
+
+__all__ = ["Instrumentation", "NULL"]
+
+
+class _NullSpan:
+    """Reusable no-op context manager (allocation-free disabled spans)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _null_instrumentation() -> "Instrumentation":
+    return NULL
+
+
+class Instrumentation:
+    """Facade over a :class:`MetricsRegistry` and a :class:`Tracer`.
+
+    Either side may be absent: ``Instrumentation(registry=...)`` counts
+    without tracing (the engine's perf view), ``Instrumentation()`` with
+    neither is fully disabled — use the shared :data:`NULL` instead of
+    constructing new disabled handles.
+    """
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+
+    @classmethod
+    def enabled(
+        cls,
+        sink: TraceSink | None = None,
+        clock: Clock | None = None,
+    ) -> "Instrumentation":
+        """A fresh fully-enabled handle (in-memory sink by default)."""
+        return cls(
+            registry=MetricsRegistry(),
+            tracer=Tracer(sink=sink or InMemoryTraceSink(), clock=clock),
+        )
+
+    @staticmethod
+    def ensure(instrumentation: "Instrumentation | None") -> "Instrumentation":
+        """Normalize an optional argument to a usable handle."""
+        return instrumentation if instrumentation is not None else NULL
+
+    @property
+    def is_enabled(self) -> bool:
+        return self.registry is not None or self.tracer is not None
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def span(
+        self, name: str, stage: str | None = None, **attrs: object
+    ) -> contextlib.AbstractContextManager:
+        if self.tracer is None:
+            return _NULL_SPAN
+        return self.tracer.span(name, stage=stage, **attrs)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, n: float = 1, **labels: object) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, **labels).inc(n)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        **labels: object,
+    ) -> None:
+        if self.registry is not None:
+            self.registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name, **labels).set(value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        if self.registry is None:
+            return MetricsSnapshot()
+        return self.registry.snapshot()
+
+    def drain_spans(self) -> list[dict]:
+        """Buffered span records (in-memory sinks only) — what a worker
+        ships back to the parent tracer's :meth:`~repro.obs.tracing.
+        Tracer.adopt`."""
+        if self.tracer is None or not isinstance(self.tracer.sink, InMemoryTraceSink):
+            return []
+        records = list(self.tracer.sink.records)
+        self.tracer.sink.records.clear()
+        return records
+
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        if not self.is_enabled:
+            return (_null_instrumentation, ())
+        raise TypeError(
+            "an enabled Instrumentation is process-local and cannot be "
+            "pickled; build one inside the worker and return its snapshot"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Instrumentation(metrics={self.registry is not None}, "
+            f"tracing={self.tracer is not None})"
+        )
+
+
+#: The shared disabled handle every un-instrumented call path uses.
+NULL = Instrumentation()

@@ -1,0 +1,112 @@
+"""Argument wiring for ``python -m repro trace``.
+
+Reads a JSONL trace (schema-validated line by line), folds every span's
+duration into a fixed-bucket latency histogram per stage, and reports
+per-stage span counts, total time, and latency percentiles estimated
+from the buckets — the same estimator a Prometheus ``histogram_quantile``
+would apply to the exported series.
+
+Exit codes: 0 = report printed, 2 = unreadable or schema-invalid trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .export import render_prometheus
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+from .tracing import read_trace
+
+__all__ = ["add_trace_arguments", "run_trace"]
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", help="JSONL trace file written by --trace")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="text = per-stage latency table, json = stable machine form, "
+        "prom = the aggregated histograms in Prometheus text format",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the N stages with the largest total time",
+    )
+
+
+def _aggregate(path: str) -> tuple[MetricsRegistry, int]:
+    """Fold span durations into per-stage histograms; returns (registry,
+    total span count).  Spans without a stage tag aggregate under their
+    name's first dotted component."""
+    registry = MetricsRegistry()
+    spans = 0
+    for record in read_trace(path):
+        spans += 1
+        stage = record["stage"] or record["name"].split(".", 1)[0]
+        registry.histogram(
+            "trace_span_duration_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS_S,
+            stage=stage,
+        ).observe(record["duration_s"])
+    return registry, spans
+
+
+def _stage_rows(registry: MetricsRegistry, top: int | None) -> list[dict]:
+    rows = []
+    for series in registry.snapshot().series:
+        stage = dict(series.labels)["stage"]
+        quantiles = {
+            f"p{int(q * 100)}_s": quantile_from_buckets(
+                series.bounds, series.bucket_counts, q
+            )
+            for q in _QUANTILES
+        }
+        rows.append(
+            {"stage": stage, "spans": series.count, "total_s": series.sum, **quantiles}
+        )
+    rows.sort(key=lambda row: (-row["total_s"], row["stage"]))
+    if top is not None:
+        if top < 1:
+            raise ValueError("--top must be >= 1")
+        rows = rows[:top]
+    return rows
+
+
+def run_trace(args: argparse.Namespace) -> int:
+    try:
+        registry, spans = _aggregate(args.trace)
+        rows = _stage_rows(registry, args.top)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: {exc}")
+        return 2
+
+    if args.format == "prom":
+        print(render_prometheus(registry.snapshot()), end="")
+        return 0
+    if args.format == "json":
+        print(json.dumps({"spans": spans, "stages": rows}, sort_keys=True, indent=2))
+        return 0
+
+    print(f"trace: {spans} span(s), {len(rows)} stage(s)")
+    print(
+        f"{'stage':>14s} {'spans':>7s} {'total_s':>9s} "
+        f"{'p50_ms':>8s} {'p90_ms':>8s} {'p99_ms':>8s}"
+    )
+    for row in rows:
+        print(
+            f"{row['stage']:>14s} {row['spans']:7d} {row['total_s']:9.3f} "
+            f"{row['p50_s'] * 1e3:8.2f} {row['p90_s'] * 1e3:8.2f} "
+            f"{row['p99_s'] * 1e3:8.2f}"
+        )
+    return 0

@@ -1,0 +1,197 @@
+"""Span-based tracing with a stable JSONL sink.
+
+A *span* is one timed operation (a pipeline stage, an engine map, a
+simulated chat session) with a name, an optional stage tag from
+:data:`PIPELINE_STAGES`, a parent span, and a monotonic duration read
+through the :mod:`repro.obs.clock` abstraction — the only way timing
+enters the subsystem.
+
+The JSONL schema (one object per line) is a compatibility surface the
+``repro trace`` CLI and external tooling parse::
+
+    {"schema": "repro-trace-v1", "span": 3, "parent": 1,
+     "name": "features.preprocess", "stage": "preprocessing",
+     "start_s": 12.25, "duration_s": 0.0042, "attrs": {...}}
+
+Keys are emitted in exactly that order.  Spans are written when they
+*close*, so children precede their parents in the file; consumers must
+not assume topological order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from collections.abc import Iterator
+from typing import IO, Protocol
+
+from .clock import MONOTONIC_CLOCK, Clock
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "PIPELINE_STAGES",
+    "TraceSink",
+    "InMemoryTraceSink",
+    "JsonlTraceSink",
+    "Tracer",
+    "validate_trace_record",
+    "read_trace",
+]
+
+TRACE_SCHEMA = "repro-trace-v1"
+
+#: The stage vocabulary of the verification hot path, in pipeline order.
+#: ``repro simulate --trace`` emits at least one span per stage.
+PIPELINE_STAGES = ("simulate", "luminance", "preprocessing", "matching", "verdict")
+
+_RECORD_KEYS = ("schema", "span", "parent", "name", "stage", "start_s", "duration_s", "attrs")
+
+
+class TraceSink(Protocol):
+    """Destination for closed-span records."""
+
+    def emit(self, record: dict) -> None: ...
+
+
+class InMemoryTraceSink:
+    """Collects records in a list (tests, worker-side buffering)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlTraceSink:
+    """Writes one canonical JSON object per line to a file."""
+
+    def __init__(self, path_or_file: str | IO[str]) -> None:
+        if isinstance(path_or_file, str):
+            self._file: IO[str] = open(path_or_file, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = path_or_file
+            self._owns_file = False
+
+    def emit(self, record: dict) -> None:
+        self._file.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Tracer:
+    """Builds the span tree: sequential ids, a stack for parenting.
+
+    A tracer is process-local and single-threaded, like everything else
+    in the simulation.  Worker processes run their own tracer into an
+    :class:`InMemoryTraceSink` and ship the records home, where
+    :meth:`adopt` re-numbers them into the parent's id space.
+    """
+
+    def __init__(self, sink: TraceSink | None = None, clock: Clock | None = None) -> None:
+        self.sink = sink if sink is not None else InMemoryTraceSink()
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._next_id = 1
+        self._stack: list[int] = []
+
+    @contextlib.contextmanager
+    def span(self, name: str, stage: str | None = None, **attrs: object) -> Iterator[int]:
+        """Time one operation; yields the span id (for correlation)."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start = self.clock.now()
+        try:
+            yield span_id
+        finally:
+            duration = self.clock.now() - start
+            self._stack.pop()
+            self.sink.emit(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "span": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "stage": stage,
+                    "start_s": start,
+                    "duration_s": duration,
+                    "attrs": dict(attrs),
+                }
+            )
+
+    def adopt(self, records: list[dict], parent: int | None = None) -> None:
+        """Re-emit foreign (worker) records under this tracer's id space.
+
+        Ids are renumbered deterministically in input order; records
+        without a parent are attached to ``parent``.  Timestamps are kept
+        verbatim — they are monotonic in the *worker's* clock domain.
+        """
+        mapping: dict[int, int] = {}
+        for record in records:
+            mapping[record["span"]] = self._next_id
+            self._next_id += 1
+        for record in records:
+            old_parent = record.get("parent")
+            self.sink.emit(
+                {
+                    **record,
+                    "span": mapping[record["span"]],
+                    "parent": mapping.get(old_parent, parent),
+                }
+            )
+
+
+def validate_trace_record(record: object) -> dict:
+    """Check one parsed JSONL object against the v1 schema; raise
+    ``ValueError`` with a precise message otherwise."""
+    if not isinstance(record, dict):
+        raise ValueError(f"trace record must be an object, got {type(record).__name__}")
+    missing = [key for key in _RECORD_KEYS if key not in record]
+    if missing:
+        raise ValueError(f"trace record missing key(s) {missing}")
+    if record["schema"] != TRACE_SCHEMA:
+        raise ValueError(f"unknown trace schema {record['schema']!r}")
+    if not isinstance(record["span"], int):
+        raise ValueError("span id must be an integer")
+    if record["parent"] is not None and not isinstance(record["parent"], int):
+        raise ValueError("parent must be an integer or null")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise ValueError("span name must be a non-empty string")
+    if record["stage"] is not None and not isinstance(record["stage"], str):
+        raise ValueError("stage must be a string or null")
+    for key in ("start_s", "duration_s"):
+        if not isinstance(record[key], (int, float)):
+            raise ValueError(f"{key} must be a number")
+    if record["duration_s"] < 0:
+        raise ValueError("duration_s must be non-negative")
+    if not isinstance(record["attrs"], dict):
+        raise ValueError("attrs must be an object")
+    return record
+
+
+def read_trace(path: str) -> Iterator[dict]:
+    """Yield validated span records from a JSONL trace file."""
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
+            try:
+                yield validate_trace_record(parsed)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc

@@ -136,6 +136,28 @@ class TestR002WallClock:
         )
         assert [f.rule for f in findings] == ["R002"]
 
+    def test_obs_clock_is_the_other_blessed_site(self):
+        source = """
+            import time
+
+            def now():
+                return time.perf_counter()
+            """
+        assert not findings_for(source, path="src/repro/obs/clock.py")
+
+    def test_rest_of_obs_is_not_blessed(self):
+        # The allowlist names obs/clock.py alone, not obs/ wholesale:
+        # every other obs module must go through the Clock abstraction.
+        source = """
+            import time
+
+            def sneak():
+                return time.monotonic()
+            """
+        findings = findings_for(source, path="src/repro/obs/metrics.py")
+        assert [f.rule for f in findings] == ["R002"]
+        assert "obs.clock" in findings[0].message
+
 
 class TestR003UnpicklablePayload:
     def test_nested_def_flagged(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import PerfRecorder
+from repro.obs.clock import ManualClock
 
 
 def _snapshot(recorder, jobs=1, hits=0, misses=0):
@@ -79,6 +80,52 @@ class TestReport:
         assert "features" in text
         assert "7 hits / 3 misses" in text
         assert "70.0% hit rate" in text
+
+
+class TestManualClockTiming:
+    def test_stage_wall_time_is_exact_under_manual_clock(self):
+        clock = ManualClock()
+        rec = PerfRecorder(clock=clock)
+        with rec.stage("features", tasks=4):
+            clock.advance(2.0)
+        (stage,) = _snapshot(rec).stages
+        assert stage.wall_s == pytest.approx(2.0)
+        assert stage.tasks_per_sec == pytest.approx(2.0)
+
+    def test_zero_wall_report_has_zero_throughput(self):
+        # Frozen clock: wall_s == 0.0 must not divide by zero.
+        report = _snapshot(PerfRecorder(clock=ManualClock()))
+        assert report.wall_s == pytest.approx(0.0)
+        assert report.tasks_per_sec == pytest.approx(0.0)
+        assert report.cache_hit_rate == pytest.approx(0.0)
+
+    def test_zero_wall_stage_reports_inf_not_crash(self):
+        clock = ManualClock()
+        rec = PerfRecorder(clock=clock)
+        with rec.stage("instant", tasks=3):
+            pass  # no clock advance: zero-duration stage
+        (stage,) = _snapshot(rec).stages
+        assert stage.wall_s == pytest.approx(0.0)
+        assert stage.tasks_per_sec == float("inf")
+        assert any("inf" in line for line in _snapshot(rec).lines())
+
+    def test_report_wall_spans_recorder_lifetime(self):
+        clock = ManualClock(start=100.0)
+        rec = PerfRecorder(clock=clock)
+        clock.advance(3.0)
+        with rec.stage("x", tasks=6):
+            clock.advance(1.0)
+        report = _snapshot(rec)
+        assert report.wall_s == pytest.approx(4.0)
+        assert report.tasks_per_sec == pytest.approx(1.5)
+
+    def test_reset_rereads_the_clock(self):
+        clock = ManualClock()
+        rec = PerfRecorder(clock=clock)
+        clock.advance(5.0)
+        rec.reset()
+        clock.advance(1.0)
+        assert _snapshot(rec).wall_s == pytest.approx(1.0)
 
 
 class TestCounters:

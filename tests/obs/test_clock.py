@@ -1,0 +1,39 @@
+"""obs.clock: the clock abstraction and its two implementations."""
+
+import pytest
+
+from repro.obs.clock import MONOTONIC_CLOCK, ManualClock, MonotonicClock
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        assert ManualClock().now() == 0.0  # reprolint: disable=R004
+        assert ManualClock(start=41.5).now() == 41.5  # reprolint: disable=R004
+
+    def test_advance_is_exact(self):
+        clock = ManualClock()
+        clock.advance(0.25)
+        clock.advance(1.0)
+        # Exactness is the contract: ManualClock must add, not drift.
+        assert clock.now() == 1.25  # reprolint: disable=R004
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError, match="backwards"):
+            ManualClock().advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = ManualClock(start=3.0)
+        clock.advance(0.0)
+        assert clock.now() == 3.0  # reprolint: disable=R004
+
+
+class TestMonotonicClock:
+    def test_is_monotonic(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_module_singleton_exists(self):
+        assert isinstance(MONOTONIC_CLOCK, MonotonicClock)
+        assert MONOTONIC_CLOCK.now() >= 0.0

@@ -1,0 +1,68 @@
+"""obs.export: Prometheus text format and stable JSON."""
+
+import json
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("clips_total", verdict="accept").inc(3)
+    reg.gauge("buffer_depth").set(2.5)
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_type_headers_once_per_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("v", verdict="accept").inc()
+        reg.counter("v", verdict="reject").inc()
+        text = render_prometheus(reg.snapshot())
+        assert text.count("# TYPE v counter") == 1
+
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(_registry().snapshot())
+        assert 'clips_total{verdict="accept"} 3' in text
+        assert "buffer_depth 2.5" in text
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = render_prometheus(_registry().snapshot())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_invalid_metric_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("clips.total/all").inc()
+        text = render_prometheus(reg.snapshot())
+        assert "clips_total_all 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_ends_with_newline_when_nonempty(self):
+        assert render_prometheus(_registry().snapshot()).endswith("\n")
+
+
+class TestJson:
+    def test_round_trips_and_is_sorted(self):
+        text = render_json(_registry().snapshot())
+        parsed = json.loads(text)
+        names = [s["name"] for s in parsed["series"]]
+        assert names == sorted(names)
+
+    def test_bitwise_stable_across_touch_order(self):
+        r1 = MetricsRegistry()
+        r1.counter("b").inc()
+        r1.counter("a").inc()
+        r2 = MetricsRegistry()
+        r2.counter("a").inc()
+        r2.counter("b").inc()
+        assert render_json(r1.snapshot()) == render_json(r2.snapshot())

@@ -1,0 +1,97 @@
+"""obs.instrument: the one handle, enabled and disabled."""
+
+import pickle
+
+import pytest
+
+from repro.obs.instrument import NULL, Instrumentation
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.tracing import InMemoryTraceSink
+
+
+class TestDisabledHandle:
+    def test_null_is_disabled(self):
+        assert not NULL.is_enabled
+        assert NULL.registry is None and NULL.tracer is None
+
+    def test_ensure_normalizes_none(self):
+        assert Instrumentation.ensure(None) is NULL
+        enabled = Instrumentation.enabled()
+        assert Instrumentation.ensure(enabled) is enabled
+
+    def test_disabled_ops_are_noops(self):
+        NULL.count("x")
+        NULL.observe("y", 1.0)
+        NULL.gauge("z", 2.0)
+        with NULL.span("nothing", stage="simulate"):
+            pass
+        assert NULL.snapshot() == MetricsSnapshot()
+        assert NULL.drain_spans() == []
+
+    def test_disabled_span_is_reusable(self):
+        first = NULL.span("a")
+        second = NULL.span("b")
+        assert first is second  # no allocation on the disabled path
+
+    def test_disabled_handle_pickles_to_null(self):
+        clone = pickle.loads(pickle.dumps(NULL))
+        assert clone is NULL
+
+
+class TestEnabledHandle:
+    def test_enabled_builds_registry_and_tracer(self):
+        instr = Instrumentation.enabled()
+        assert instr.is_enabled
+        instr.count("clips", verdict="accept")
+        with instr.span("work", stage="verdict"):
+            pass
+        snap = instr.snapshot()
+        assert snap.counter_value("clips", verdict="accept") == 1
+        spans = instr.drain_spans()
+        assert [r["name"] for r in spans] == ["work"]
+        assert instr.drain_spans() == []  # drained
+
+    def test_observe_routes_to_histogram(self):
+        instr = Instrumentation.enabled()
+        instr.observe("lat", 0.5, buckets=(1.0,))
+        series = instr.snapshot().get("lat", kind="histogram")
+        assert series.count == 1
+
+    def test_enabled_handle_refuses_to_pickle(self):
+        instr = Instrumentation.enabled()
+        with pytest.raises(TypeError, match="process-local"):
+            pickle.dumps(instr)
+
+    def test_metrics_only_handle_has_null_spans(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        instr = Instrumentation(registry=MetricsRegistry())
+        with instr.span("ignored"):
+            pass
+        instr.count("ok")
+        assert instr.is_enabled
+        assert instr.snapshot().counter_value("ok") == 1
+
+    def test_drain_spans_only_for_memory_sinks(self, tmp_path):
+        from repro.obs.tracing import JsonlTraceSink
+
+        with JsonlTraceSink(str(tmp_path / "t.jsonl")) as sink:
+            instr = Instrumentation.enabled(sink=sink)
+            with instr.span("streamed"):
+                pass
+            assert instr.drain_spans() == []  # already on disk, nothing to ship
+
+    def test_worker_roundtrip_pattern(self):
+        # The documented worker pattern: build enabled handle, record,
+        # ship snapshot + spans home, merge.
+        worker = Instrumentation.enabled()
+        with worker.span("session", stage="simulate"):
+            worker.count("chat_ticks_total", 150)
+        payload = pickle.dumps((worker.snapshot(), worker.drain_spans()))
+
+        snapshot, spans = pickle.loads(payload)
+        parent = Instrumentation.enabled(sink=InMemoryTraceSink())
+        parent.registry.merge_snapshot(snapshot)
+        parent.tracer.adopt(spans)
+        assert parent.snapshot().counter_value("chat_ticks_total") == 150
+        assert [r["name"] for r in parent.tracer.sink.records] == ["session"]

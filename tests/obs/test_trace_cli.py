@@ -1,0 +1,95 @@
+"""obs.trace_cli: the ``repro trace`` aggregation command."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.trace_cli import add_trace_arguments, run_trace
+from repro.obs.tracing import JsonlTraceSink, Tracer
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    add_trace_arguments(parser)
+    return parser
+
+
+def _write_trace(path: str) -> None:
+    clock = ManualClock()
+    with JsonlTraceSink(path) as sink:
+        tracer = Tracer(sink=sink, clock=clock)
+        with tracer.span("chat.session", stage="simulate"):
+            clock.advance(2.0)
+        with tracer.span("detector.verify_clip", stage="verdict"):
+            clock.advance(0.05)
+        with tracer.span("detector.verify_clip", stage="verdict"):
+            clock.advance(0.07)
+        with tracer.span("untagged.helper"):  # stage falls back to "untagged"
+            clock.advance(0.01)
+
+
+class TestArguments:
+    def test_defaults(self):
+        args = _parser().parse_args(["t.jsonl"])
+        assert args.trace == "t.jsonl"
+        assert args.format == "text"
+        assert args.top is None
+
+    def test_format_choices(self):
+        with pytest.raises(SystemExit):
+            _parser().parse_args(["t.jsonl", "--format", "xml"])
+
+
+class TestRunTrace:
+    def test_text_report(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        _write_trace(path)
+        assert run_trace(_parser().parse_args([path])) == 0
+        out = capsys.readouterr().out
+        assert "4 span(s), 3 stage(s)" in out
+        assert "simulate" in out and "verdict" in out and "untagged" in out
+
+    def test_json_report_sorted_by_total_time(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        _write_trace(path)
+        assert run_trace(_parser().parse_args([path, "--format", "json"])) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["spans"] == 4
+        stages = [row["stage"] for row in report["stages"]]
+        assert stages[0] == "simulate"  # largest total first
+        verdict = [r for r in report["stages"] if r["stage"] == "verdict"][0]
+        assert verdict["spans"] == 2
+        assert verdict["total_s"] == pytest.approx(0.12)
+        assert 0.0 < verdict["p50_s"] <= 0.1
+
+    def test_top_limits_stages(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        _write_trace(path)
+        assert run_trace(_parser().parse_args([path, "--format", "json", "--top", "1"])) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [row["stage"] for row in report["stages"]] == ["simulate"]
+
+    def test_prom_format_exports_histograms(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        _write_trace(path)
+        assert run_trace(_parser().parse_args([path, "--format", "prom"])) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE trace_span_duration_seconds histogram" in out
+        assert 'stage="verdict"' in out
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        code = run_trace(_parser().parse_args([str(tmp_path / "nope.jsonl")]))
+        assert code == 2
+        assert "repro trace:" in capsys.readouterr().out
+
+    def test_invalid_record_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "wrong"}\n')
+        assert run_trace(_parser().parse_args([str(path)])) == 2
+
+    def test_invalid_top_is_exit_2(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_trace(path)
+        assert run_trace(_parser().parse_args([path, "--top", "0"])) == 2

@@ -1,0 +1,203 @@
+"""obs.tracing: span tree, JSONL schema, adoption of worker records."""
+
+import json
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.tracing import (
+    PIPELINE_STAGES,
+    TRACE_SCHEMA,
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    Tracer,
+    read_trace,
+    validate_trace_record,
+)
+
+
+def _tracer() -> tuple[Tracer, InMemoryTraceSink, ManualClock]:
+    sink = InMemoryTraceSink()
+    clock = ManualClock()
+    return Tracer(sink=sink, clock=clock), sink, clock
+
+
+class TestTracer:
+    def test_sequential_ids_and_parenting(self):
+        tracer, sink, clock = _tracer()
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                clock.advance(1.0)
+        assert (outer_id, inner_id) == (1, 2)
+        # Children close (and emit) before their parents.
+        assert [r["name"] for r in sink.records] == ["inner", "outer"]
+        inner, outer = sink.records
+        assert inner["parent"] == outer["span"]
+        assert outer["parent"] is None
+
+    def test_durations_come_from_the_clock(self):
+        tracer, sink, clock = _tracer()
+        with tracer.span("work"):
+            clock.advance(2.5)
+        assert sink.records[0]["duration_s"] == pytest.approx(2.5)
+        assert sink.records[0]["start_s"] == pytest.approx(0.0)
+
+    def test_stage_and_attrs_recorded(self):
+        tracer, sink, _ = _tracer()
+        with tracer.span("chat.session", stage="simulate", role="genuine"):
+            pass
+        record = sink.records[0]
+        assert record["stage"] == "simulate"
+        assert record["attrs"] == {"role": "genuine"}
+
+    def test_siblings_share_parent(self):
+        tracer, sink, _ = _tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["a"]["parent"] == by_name["b"]["parent"] == by_name["root"]["span"]
+
+    def test_span_emitted_even_on_exception(self):
+        tracer, sink, _ = _tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [r["name"] for r in sink.records] == ["doomed"]
+
+
+class TestAdopt:
+    def test_renumbers_into_parent_id_space(self):
+        worker, worker_sink, _ = _tracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent, parent_sink, _ = _tracer()
+        with parent.span("map"):
+            pass  # consumes id 1
+        parent.adopt(worker_sink.records, parent=1)
+        adopted = parent_sink.records[1:]
+        ids = {r["span"] for r in adopted}
+        assert ids == {2, 3}
+        roots = [r for r in adopted if r["name"] == "outer"]
+        assert roots[0]["parent"] == 1  # re-parented under the map span
+        inner = [r for r in adopted if r["name"] == "inner"][0]
+        assert inner["parent"] in ids  # intra-worker edge preserved
+
+    def test_adoption_is_deterministic(self):
+        worker, worker_sink, _ = _tracer()
+        with worker.span("a"):
+            pass
+        with worker.span("b"):
+            pass
+        p1, s1, _ = _tracer()
+        p1.adopt(worker_sink.records)
+        p2, s2, _ = _tracer()
+        p2.adopt(worker_sink.records)
+        assert s1.records == s2.records
+
+    def test_adopted_records_stay_schema_valid(self):
+        worker, worker_sink, _ = _tracer()
+        with worker.span("w", stage="simulate"):
+            pass
+        parent, parent_sink, _ = _tracer()
+        parent.adopt(worker_sink.records)
+        for record in parent_sink.records:
+            validate_trace_record(record)
+
+
+class TestSchema:
+    def _valid(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "span": 1,
+            "parent": None,
+            "name": "x",
+            "stage": None,
+            "start_s": 0.0,
+            "duration_s": 0.1,
+            "attrs": {},
+        }
+
+    def test_valid_record_passes(self):
+        assert validate_trace_record(self._valid())["span"] == 1
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"schema": "repro-trace-v0"}, "unknown trace schema"),
+            ({"span": "1"}, "span id must be an integer"),
+            ({"parent": "none"}, "parent must be an integer or null"),
+            ({"name": ""}, "non-empty string"),
+            ({"stage": 3}, "stage must be a string or null"),
+            ({"duration_s": -0.5}, "non-negative"),
+            ({"duration_s": "fast"}, "must be a number"),
+            ({"attrs": []}, "attrs must be an object"),
+        ],
+    )
+    def test_invalid_records_rejected(self, mutation, message):
+        record = {**self._valid(), **mutation}
+        with pytest.raises(ValueError, match=message):
+            validate_trace_record(record)
+
+    def test_missing_key_rejected(self):
+        record = self._valid()
+        del record["attrs"]
+        with pytest.raises(ValueError, match="missing key"):
+            validate_trace_record(record)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            validate_trace_record([1, 2])
+
+    def test_pipeline_stage_vocabulary(self):
+        assert PIPELINE_STAGES == (
+            "simulate",
+            "luminance",
+            "preprocessing",
+            "matching",
+            "verdict",
+        )
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        clock = ManualClock()
+        with JsonlTraceSink(path) as sink:
+            tracer = Tracer(sink=sink, clock=clock)
+            with tracer.span("outer", stage="simulate"):
+                with tracer.span("inner", stage="verdict"):
+                    clock.advance(0.5)
+        records = list(read_trace(path))
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["duration_s"] == pytest.approx(0.5)
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record = {
+            "schema": TRACE_SCHEMA,
+            "span": 1,
+            "parent": None,
+            "name": "x",
+            "stage": None,
+            "start_s": 0.0,
+            "duration_s": 0.0,
+            "attrs": {},
+        }
+        path.write_text(json.dumps(record) + "\n\n")
+        assert len(list(read_trace(str(path)))) == 1
+
+    def test_read_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="trace.jsonl:1"):
+            list(read_trace(str(path)))
+
+    def test_read_reports_schema_violations_with_position(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"schema": "wrong"}\n')
+        with pytest.raises(ValueError, match="trace.jsonl:1.*missing key"):
+            list(read_trace(str(path)))

@@ -29,6 +29,35 @@ class TestParser:
         assert args.out == "x"
         assert args.only == ["fig11"]
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.role == "genuine"
+        assert args.sessions == 2
+        assert args.jobs == 1
+        assert args.trace is None
+        assert args.metrics is None
+        assert args.perf is False
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--role", "attack", "--jobs", "2",
+             "--trace", "t.jsonl", "--metrics", "prom", "--perf"]
+        )
+        assert args.role == "attack"
+        assert args.jobs == 2
+        assert args.trace == "t.jsonl"
+        assert args.metrics == "prom"
+        assert args.perf is True
+
+    def test_simulate_rejects_unknown_metrics_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--metrics", "xml"])
+
+    def test_trace_wiring(self):
+        args = build_parser().parse_args(["trace", "t.jsonl", "--format", "json"])
+        assert args.trace == "t.jsonl"
+        assert args.format == "json"
+
 
 class TestInfo:
     def test_info_prints_paper_constants(self, capsys):
@@ -52,3 +81,19 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "ATTACKER" in out
         assert "live person" in out
+
+    def test_simulate_traces_every_pipeline_stage(self, tmp_path, capsys):
+        from repro.obs import PIPELINE_STAGES, read_trace
+
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["simulate", "--sessions", "2", "--enroll", "8", "--jobs", "2",
+             "--seed", "3", "--trace", trace, "--metrics", "json"]
+        ) == 0
+        records = list(read_trace(trace))  # read_trace validates the schema
+        stages = {r["stage"] for r in records}
+        assert set(PIPELINE_STAGES) <= stages
+        out = capsys.readouterr().out
+        assert '"name": "verifier_sessions_total"' in out
+        # The trace aggregator consumes what simulate wrote.
+        assert main(["trace", trace]) == 0
