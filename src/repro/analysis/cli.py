@@ -4,13 +4,24 @@ Kept inside the analysis package so ``repro.cli`` only registers the
 subcommand; everything lint-specific (defaults, exit codes, baseline
 handling) lives next to the code it drives.
 
-Exit codes: 0 = clean (no non-baselined findings), 1 = findings.
+The whole-program pass (R007-R011) is on by default; ``--no-graph``
+restores the per-file-only behavior.  ``--changed-only`` is the fast
+pre-commit path: per-file rules and findings are restricted to files
+``git diff --name-only HEAD`` reports as modified, while module
+summaries for the unchanged rest come from the content-hash cache
+(``.cache/reprolint/summaries.json``).  Outside a git checkout it
+silently falls back to a full run.
+
+Exit codes: 0 = clean (no non-baselined findings), 1 = findings
+(including ``E000`` for files that cannot be analyzed), 2 = bad
+invocation (missing path, malformed [tool.reprolint]).
 """
 
 from __future__ import annotations
 
 import argparse
-from pathlib import Path
+import subprocess
+from pathlib import Path, PurePath
 
 from .baseline import (
     DEFAULT_BASELINE_NAME,
@@ -18,11 +29,16 @@ from .baseline import (
     split_baselined,
     write_baseline,
 )
+from .config import load_lint_config
+from .graph import SummaryCache, dump_dot, dump_json
 from .linter import lint_paths
 from .reporters import render_json, render_text
 from .rulebase import rule_metadata
 
 __all__ = ["add_lint_arguments", "run_lint"]
+
+#: Where the incremental summary cache lives, relative to the cwd.
+CACHE_PATH = Path(".cache") / "reprolint" / "summaries.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +75,63 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--graph",
+        dest="graph",
+        action="store_true",
+        default=True,
+        help="run the whole-program rules R007-R011 (default: on)",
+    )
+    parser.add_argument(
+        "--no-graph",
+        dest="graph",
+        action="store_false",
+        help="per-file rules only; skip call-graph analysis",
+    )
+    parser.add_argument(
+        "--dump-graph",
+        choices=("json", "dot"),
+        default=None,
+        help="print the program graph (json: stable schema; dot: Graphviz) "
+        "instead of the findings report",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed vs. git HEAD (summaries for the rest "
+        "come from the cache); full run when not in a git checkout",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the summary cache",
+    )
+
+
+def _changed_report_paths(cwd: Path) -> set[str] | None:
+    """Report paths of files modified vs. HEAD, or None outside git."""
+    try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, cwd=cwd, timeout=30, check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, cwd=cwd, timeout=30, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    changed: set[str] = set()
+    root = Path(toplevel)
+    for line in diff.splitlines():
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        try:
+            changed.add(PurePath((root / name).resolve().relative_to(cwd.resolve())).as_posix())
+        except ValueError:
+            continue  # changed file outside the lint cwd
+    return changed
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -68,11 +141,41 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"      {rule['rationale']}")
         return 0
 
+    cwd = Path.cwd()
     try:
-        result = lint_paths(args.paths, relative_to=Path.cwd())
+        config = load_lint_config(cwd)
+    except ValueError as exc:
+        print(f"reprolint: {exc}")
+        return 2
+
+    only: set[str] | None = None
+    if args.changed_only:
+        only = _changed_report_paths(cwd)  # None -> full run fallback
+
+    cache = None
+    if args.graph and not args.no_cache:
+        cache = SummaryCache(cwd / CACHE_PATH)
+
+    try:
+        result = lint_paths(
+            args.paths,
+            relative_to=cwd,
+            graph=args.graph,
+            config=config,
+            cache=cache,
+            only=only,
+        )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}")
         return 2
+
+    if args.dump_graph is not None:
+        if result.graph is None:
+            print("reprolint: --dump-graph requires the graph pass (drop --no-graph)")
+            return 2
+        renderer = dump_json if args.dump_graph == "json" else dump_dot
+        print(renderer(result.graph))
+        return 0
 
     if args.write_baseline:
         write_baseline(args.baseline, result.findings)

@@ -1,0 +1,113 @@
+"""Lint run configuration, loaded once from ``[tool.reprolint]``.
+
+Knobs that used to be hardcoded in the rules (the R002/R008 wall-clock
+allowlist, the facade module R010 audits, the packages R009 considers
+project-owned) live in ``pyproject.toml``::
+
+    [tool.reprolint]
+    wall-clock-allowlist = ["engine/perf.py", "obs/clock.py"]
+    facade = "repro/api.py"
+    project-packages = ["repro"]
+
+    [tool.reprolint.rules.R009]
+    ignore-names = ["some_callback"]
+
+A missing section (or a missing pyproject.toml) yields the defaults
+below, which reproduce the historical hardcoded behavior exactly — so
+repositories without the section lint identically to before.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+__all__ = ["LintConfig", "DEFAULT_LINT_CONFIG", "load_lint_config"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Parsed ``[tool.reprolint]`` options (defaults == historical behavior)."""
+
+    #: Path suffixes of the only modules allowed to read the real clock
+    #: (R002 per-file; R008 masks propagation out of these modules).
+    wall_clock_allowlist: tuple[str, ...] = ("engine/perf.py", "obs/clock.py")
+    #: Path suffix of the public facade whose re-exports R010 audits.
+    facade: str = "repro/api.py"
+    #: Top-level packages whose public functions R009 audits for
+    #: reachability (files outside these packages are exempt).
+    project_packages: tuple[str, ...] = ("repro",)
+    #: Per-rule option tables from ``[tool.reprolint.rules.Rxxx]``.
+    rule_options: tuple[tuple[str, tuple[tuple[str, tuple[str, ...]], ...]], ...] = ()
+
+    def options_for(self, rule_id: str) -> dict[str, tuple[str, ...]]:
+        for rid, options in self.rule_options:
+            if rid == rule_id:
+                return dict(options)
+        return {}
+
+
+DEFAULT_LINT_CONFIG = LintConfig()
+
+
+def _string_tuple(value: object, where: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ValueError(f"[tool.reprolint] {where} must be a list of strings")
+    return tuple(value)
+
+
+def load_lint_config(root: str | Path | None = None) -> LintConfig:
+    """Parse ``<root>/pyproject.toml``'s ``[tool.reprolint]`` section.
+
+    Returns the defaults when the file or section is absent, or when no
+    TOML parser is available (Python < 3.11 without tomli).
+    """
+    pyproject = Path(root or ".") / "pyproject.toml"
+    if not pyproject.is_file():
+        return DEFAULT_LINT_CONFIG
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10 fallback, no tomli baked in
+        return DEFAULT_LINT_CONFIG
+    try:
+        document = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"unparseable pyproject.toml: {exc}") from exc
+    section = document.get("tool", {}).get("reprolint")
+    if not isinstance(section, dict):
+        return DEFAULT_LINT_CONFIG
+
+    kwargs: dict = {}
+    if "wall-clock-allowlist" in section:
+        kwargs["wall_clock_allowlist"] = _string_tuple(
+            section["wall-clock-allowlist"], "wall-clock-allowlist"
+        )
+    if "facade" in section:
+        facade = section["facade"]
+        if not isinstance(facade, str):
+            raise ValueError("[tool.reprolint] facade must be a string path")
+        kwargs["facade"] = facade
+    if "project-packages" in section:
+        kwargs["project_packages"] = _string_tuple(
+            section["project-packages"], "project-packages"
+        )
+    rules = section.get("rules", {})
+    if rules:
+        if not isinstance(rules, dict):
+            raise ValueError("[tool.reprolint.rules] must be a table")
+        parsed = []
+        for rule_id in sorted(rules):
+            options = rules[rule_id]
+            if not isinstance(options, dict):
+                raise ValueError(f"[tool.reprolint.rules.{rule_id}] must be a table")
+            parsed.append(
+                (
+                    rule_id,
+                    tuple(
+                        (key, _string_tuple(value, f"rules.{rule_id}.{key}"))
+                        for key, value in sorted(options.items())
+                    ),
+                )
+            )
+        kwargs["rule_options"] = tuple(parsed)
+    return LintConfig(**kwargs)

@@ -21,6 +21,8 @@ import ast
 import re
 from pathlib import PurePath
 
+from .config import DEFAULT_LINT_CONFIG, LintConfig
+
 __all__ = ["ModuleContext"]
 
 #: Modules whose attribute calls the rules reason about.
@@ -32,9 +34,16 @@ _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_*,\s]+)")
 
 
 class ModuleContext:
-    def __init__(self, path: str, source: str, tree: ast.Module | None = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module | None = None,
+        config: LintConfig | None = None,
+    ) -> None:
         self.path = PurePath(path).as_posix()
         self.source = source
+        self.config = config if config is not None else DEFAULT_LINT_CONFIG
         self.lines = source.splitlines()
         self.tree = tree if tree is not None else ast.parse(source, filename=path)
         parts = PurePath(self.path).parts
@@ -71,6 +80,14 @@ class ModuleContext:
             if rules and (rule_id in rules or "all" in rules or "*" in rules):
                 return True
         return False
+
+    def suppression_table(self) -> dict[int, tuple[str, ...]]:
+        """The suppression table in the serializable form the graph
+        layer stores in module summaries (line -> sorted rule ids)."""
+        return {
+            lineno: tuple(sorted(rules))
+            for lineno, rules in sorted(self._suppressions.items())
+        }
 
     # ------------------------------------------------------------------
     # Imports and name resolution

@@ -1,0 +1,68 @@
+"""Shared effect vocabulary: which external calls are RNG / wall-clock.
+
+The per-file rules (R001/R002) and the whole-program summarizer
+(:mod:`repro.analysis.graph.summarize`) must agree on what counts as
+"unseeded randomness" and "a wall-clock read" — otherwise a call the
+per-file rule flags could propagate differently through the call graph.
+Both layers classify a fully resolved dotted path (``numpy.random.rand``,
+``time.perf_counter``) through the two functions here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RNG_ALLOWED_NUMPY",
+    "WALL_CLOCK_PATHS",
+    "rng_effect",
+    "clock_effect",
+]
+
+#: numpy.random attributes that construct explicit generators/seeds
+#: rather than drawing from the hidden global state.
+RNG_ALLOWED_NUMPY = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Fully qualified callables that read the real clock.
+WALL_CLOCK_PATHS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("time", "process_time_ns"),
+        ("datetime", "datetime", "now"),
+        ("datetime", "datetime", "utcnow"),
+        ("datetime", "date", "today"),
+    }
+)
+
+
+def rng_effect(path: tuple[str, ...]) -> str | None:
+    """The offending dotted name when ``path`` draws from global RNG
+    state, else None (seeded constructors are allowed)."""
+    if len(path) == 3 and path[:2] == ("numpy", "random") and path[2] not in RNG_ALLOWED_NUMPY:
+        return ".".join(path)
+    if len(path) == 2 and path[0] == "random":
+        return ".".join(path)
+    return None
+
+
+def clock_effect(path: tuple[str, ...]) -> str | None:
+    """The offending dotted name when ``path`` reads the wall clock."""
+    if path in WALL_CLOCK_PATHS:
+        return ".".join(path)
+    return None

@@ -28,6 +28,9 @@ class Finding:
     snippet: str = ""
     end_line: int = 0
     fingerprint: str = ""
+    #: Call-chain hops for whole-program findings: one string per hop,
+    #: each carrying its own file:line (empty for per-file rules).
+    evidence: tuple[str, ...] = ()
 
     @property
     def sort_key(self) -> tuple[str, int, int, str]:

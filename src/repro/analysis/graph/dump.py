@@ -1,0 +1,77 @@
+"""Serialize a :class:`ProgramGraph` for humans and tools.
+
+``--dump-graph json`` is the machine interface (schema-versioned,
+sorted keys, byte-stable for identical inputs, like the lint report
+itself); ``--dump-graph dot`` renders a Graphviz digraph with effect-
+tainted nodes highlighted, for eyeballing why a chain exists.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .callgraph import ProgramGraph
+
+__all__ = ["GRAPH_SCHEMA_VERSION", "dump_json", "dump_dot"]
+
+GRAPH_SCHEMA_VERSION = 1
+
+
+def dump_json(graph: ProgramGraph) -> str:
+    """The whole graph as one stable JSON document."""
+    nodes = []
+    for node_id in sorted(graph.nodes):
+        info = graph.nodes[node_id]
+        nodes.append(
+            {
+                "id": node_id,
+                "module": info.module,
+                "qual": info.qual,
+                "path": info.path,
+                "line": info.line,
+                "public": info.public,
+                "direct_effects": [
+                    {"kind": kind, "detail": detail, "line": line, "provenance": prov}
+                    for kind, detail, line, prov in graph.direct_effects.get(node_id, ())
+                ],
+                "transitive": {
+                    kind: graph.effect_chain(node_id, kind)
+                    for kind in sorted(graph.transitive.get(node_id, ()))
+                },
+            }
+        )
+    edges = [
+        {"caller": edge.caller, "callee": edge.callee, "line": edge.line, "ref": edge.ref}
+        for node_id in sorted(graph.edges)
+        for edge in graph.edges[node_id]
+    ]
+    document = {
+        "version": GRAPH_SCHEMA_VERSION,
+        "modules": {
+            name: {"path": summary.path, "error": summary.error}
+            for name, summary in sorted(graph.modules.items())
+        },
+        "nodes": nodes,
+        "edges": edges,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def dump_dot(graph: ProgramGraph) -> str:
+    """Graphviz digraph; rng-tainted nodes red, clock-tainted orange."""
+    lines = ["digraph reprograph {", "  rankdir=LR;", '  node [shape=box, fontsize=10];']
+    for node_id in sorted(graph.nodes):
+        info = graph.nodes[node_id]
+        kinds = graph.transitive.get(node_id, {})
+        attrs = [f'label="{info.dotted}"']
+        if "rng" in kinds:
+            attrs.append('color=red')
+        elif "clock" in kinds:
+            attrs.append('color=orange')
+        lines.append(f'  "{node_id}" [{", ".join(attrs)}];')
+    for node_id in sorted(graph.edges):
+        for edge in graph.edges[node_id]:
+            style = " [style=dashed]" if edge.ref else ""
+            lines.append(f'  "{edge.caller}" -> "{edge.callee}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

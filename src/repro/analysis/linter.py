@@ -1,19 +1,40 @@
 """File walking and rule execution: the linter's outer loop.
 
-``analyze_source`` runs the registered rules over one in-memory module
-(what the analyzer's own tests use); ``lint_paths`` walks directories,
-parses every ``.py`` file, and returns fingerprinted findings.  A file
-that fails to parse is itself a finding (rule ``E999``) rather than a
-crash, so one broken file cannot hide the rest of the report.
+``analyze_source`` runs the registered per-file rules over one
+in-memory module (what the analyzer's own tests use); ``lint_paths``
+walks directories, parses every ``.py`` file, and returns
+fingerprinted findings.  A file that cannot be analyzed at all — a
+syntax error or bytes that are not UTF-8 — is itself a finding (rule
+``E000``) rather than a crash, so one broken file cannot hide the rest
+of the report.
+
+With ``graph=True`` the walk additionally builds a per-module summary
+for every file (served from the content-hash :class:`SummaryCache`
+when the bytes are unchanged), assembles the program graph, and runs
+the whole-program rules R007-R011 over it.  ``only`` restricts which
+files get per-file rule execution and which findings are reported —
+the ``--changed-only`` fast path — while summaries still cover the
+whole tree, because interprocedural analysis is only sound over the
+whole program.
 """
 
 from __future__ import annotations
 
+import ast
 from pathlib import Path, PurePath
 
+from .config import DEFAULT_LINT_CONFIG, LintConfig
 from .context import ModuleContext
 from .findings import Finding, fingerprint_findings
-from .rulebase import Rule, registered_rules
+from .graph import (
+    ProgramGraph,
+    SummaryCache,
+    build_graph,
+    content_hash,
+    error_summary,
+    summarize_module,
+)
+from .rulebase import Rule, registered_graph_rules, registered_rules
 
 __all__ = ["analyze_source", "collect_files", "lint_paths", "LintResult"]
 
@@ -24,21 +45,32 @@ _SKIP_DIRS = frozenset(
 
 
 class LintResult:
-    """Findings plus the file count, pre-sorted and fingerprinted."""
+    """Findings plus the file count, pre-sorted and fingerprinted.
 
-    def __init__(self, findings: list[Finding], files_scanned: int) -> None:
+    ``graph`` carries the assembled :class:`ProgramGraph` when the
+    whole-program pass ran (``--dump-graph`` renders it), else None.
+    """
+
+    def __init__(
+        self,
+        findings: list[Finding],
+        files_scanned: int,
+        graph: ProgramGraph | None = None,
+    ) -> None:
         self.findings = fingerprint_findings(findings)
         self.files_scanned = files_scanned
+        self.graph = graph
 
 
 def analyze_source(
     source: str,
     path: str = "module.py",
     rules: list[type[Rule]] | None = None,
+    config: LintConfig | None = None,
 ) -> list[Finding]:
     """Run rules over one source string; findings are fingerprinted."""
     try:
-        ctx = ModuleContext(path, source)
+        ctx = ModuleContext(path, source, config=config)
     except SyntaxError as exc:
         return fingerprint_findings([_syntax_finding(path, exc)])
     findings: list[Finding] = []
@@ -52,9 +84,22 @@ def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
         path=PurePath(path).as_posix(),
         line=exc.lineno or 1,
         col=(exc.offset or 0) + 1,
-        rule="E999",
+        rule="E000",
         message=f"file does not parse: {exc.msg}",
         snippet=(exc.text or "").strip(),
+    )
+
+
+def _encoding_finding(path: str, exc: UnicodeDecodeError) -> Finding:
+    return Finding(
+        path=PurePath(path).as_posix(),
+        line=1,
+        col=1,
+        rule="E000",
+        message=(
+            f"file is not valid UTF-8 ({exc.reason} at byte {exc.start}); "
+            "reprolint cannot analyze it"
+        ),
     )
 
 
@@ -75,32 +120,107 @@ def collect_files(paths: list[str | Path]) -> list[Path]:
     return sorted(files)
 
 
+def _report_path(file_path: Path, relative_to: str | Path | None) -> str:
+    if relative_to is not None:
+        try:
+            return PurePath(
+                file_path.resolve().relative_to(Path(relative_to).resolve())
+            ).as_posix()
+        except ValueError:
+            pass
+    return PurePath(file_path).as_posix()
+
+
+def _count_summary(metrics, result: str) -> None:
+    if metrics is not None:
+        metrics.counter("reprograph_summaries_total", result=result).inc()
+
+
 def lint_paths(
     paths: list[str | Path],
     rules: list[type[Rule]] | None = None,
     relative_to: str | Path | None = None,
+    *,
+    graph: bool = False,
+    config: LintConfig | None = None,
+    cache: SummaryCache | None = None,
+    metrics=None,
+    only: set[str] | None = None,
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
     Finding paths are reported relative to ``relative_to`` when given
-    (the CLI passes the working directory), else as provided.
+    (the CLI passes the working directory), else as provided.  ``only``
+    is a set of report paths: files outside it are summarized (the
+    graph needs the whole program) but get no per-file rule execution
+    and contribute no findings.
     """
+    config = config if config is not None else DEFAULT_LINT_CONFIG
     files = collect_files(paths)
     findings: list[Finding] = []
+    summaries = []
     for file_path in files:
-        report_path = file_path
-        if relative_to is not None:
-            try:
-                report_path = file_path.resolve().relative_to(
-                    Path(relative_to).resolve()
-                )
-            except ValueError:
-                report_path = file_path
-        findings.extend(
-            analyze_source(
-                file_path.read_text(encoding="utf-8"),
-                path=str(report_path),
-                rules=rules,
-            )
-        )
-    return LintResult(findings, files_scanned=len(files))
+        report_path = _report_path(file_path, relative_to)
+        selected = only is None or report_path in only
+        raw = file_path.read_bytes()
+
+        summary = None
+        if graph:
+            digest = content_hash(raw)
+            if cache is not None:
+                summary = cache.get(report_path, digest)
+            if summary is not None:
+                _count_summary(metrics, "hit")
+                cache.mark_source(report_path, str(file_path))
+                if not selected:
+                    summaries.append(summary)
+                    continue  # fast path: no parse needed at all
+
+        try:
+            source = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            if selected:
+                findings.append(_encoding_finding(report_path, exc))
+            if graph and summary is None:
+                summary = error_summary(report_path, "not valid UTF-8")
+                _count_summary(metrics, "miss")
+                if cache is not None:
+                    cache.put(report_path, digest, summary, str(file_path))
+            if graph:
+                summaries.append(summary)
+            continue
+        try:
+            ctx = ModuleContext(report_path, source, config=config)
+        except SyntaxError as exc:
+            if selected:
+                findings.append(_syntax_finding(report_path, exc))
+            if graph and summary is None:
+                summary = error_summary(report_path, f"syntax error: {exc.msg}")
+                _count_summary(metrics, "miss")
+                if cache is not None:
+                    cache.put(report_path, digest, summary, str(file_path))
+            if graph:
+                summaries.append(summary)
+            continue
+
+        if selected:
+            for rule_cls in rules if rules is not None else registered_rules():
+                findings.extend(rule_cls(ctx).run())
+        if graph:
+            if summary is None:
+                summary = summarize_module(ctx, report_path)
+                _count_summary(metrics, "miss")
+                if cache is not None:
+                    cache.put(report_path, digest, summary, str(file_path))
+            summaries.append(summary)
+
+    program_graph: ProgramGraph | None = None
+    if graph:
+        if cache is not None:
+            cache.save()
+        program_graph = build_graph(summaries, config)
+        for rule_cls in registered_graph_rules():
+            for finding in rule_cls().run(program_graph):
+                if only is None or finding.path in only:
+                    findings.append(finding)
+    return LintResult(findings, files_scanned=len(files), graph=program_graph)

@@ -3,7 +3,9 @@
 The JSON document is the machine interface: key order is fixed
 (``sort_keys``), findings are emitted in ``(path, line, col, rule)``
 order, and the schema is versioned, so downstream parsers can rely on
-byte-stable output for identical inputs.
+byte-stable output for identical inputs.  Schema v2 added the
+``evidence`` array per finding — the call-chain hops (one file:line
+per hop) behind whole-program findings, empty for per-file rules.
 """
 
 from __future__ import annotations
@@ -15,16 +17,16 @@ from .rulebase import rule_metadata
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(
     new: list[Finding], baselined: list[Finding], files_scanned: int
 ) -> str:
-    lines = [
-        f"{finding.located()}: {finding.rule} {finding.message}"
-        for finding in sorted(new, key=lambda f: f.sort_key)
-    ]
+    lines = []
+    for finding in sorted(new, key=lambda f: f.sort_key):
+        lines.append(f"{finding.located()}: {finding.rule} {finding.message}")
+        lines.extend(f"    via {hop}" for hop in finding.evidence)
     summary = (
         f"reprolint: {len(new)} finding(s) in {files_scanned} file(s)"
         + (f", {len(baselined)} baselined" if baselined else "")
@@ -58,6 +60,7 @@ def render_json(
                 "message": finding.message,
                 "snippet": finding.snippet,
                 "fingerprint": finding.fingerprint,
+                "evidence": list(finding.evidence),
             }
             for finding in sorted(new, key=lambda f: f.sort_key)
         ],

@@ -24,7 +24,15 @@ import ast
 from .context import ModuleContext
 from .findings import Finding
 
-__all__ = ["Rule", "register", "registered_rules", "rule_metadata"]
+__all__ = [
+    "Rule",
+    "GraphRule",
+    "register",
+    "register_graph",
+    "registered_rules",
+    "registered_graph_rules",
+    "rule_metadata",
+]
 
 
 class Rule(ast.NodeVisitor):
@@ -59,26 +67,92 @@ class Rule(ast.NodeVisitor):
         )
 
 
+class GraphRule:
+    """Base class for one whole-program (interprocedural) rule.
+
+    Unlike :class:`Rule`, a graph rule runs once over the assembled
+    :class:`~repro.analysis.graph.callgraph.ProgramGraph` rather than
+    once per module; it anchors each finding at a concrete file/line and
+    must route it through :meth:`report` so inline suppressions keep
+    working.  Findings may carry an ``evidence`` tuple — one call-chain
+    hop per entry, each with its own file:line.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    def run(self, graph) -> list[Finding]:  # graph: ProgramGraph
+        raise NotImplementedError
+
+    def report(
+        self,
+        graph,
+        path: str,
+        line: int,
+        message: str,
+        snippet: str = "",
+        evidence: tuple[str, ...] = (),
+    ) -> None:
+        if graph.is_suppressed(path, line, self.id):
+            return
+        self.findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=1,
+                rule=self.id,
+                message=message,
+                snippet=snippet,
+                end_line=line,
+                evidence=evidence,
+            )
+        )
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
+_GRAPH_REGISTRY: dict[str, type[GraphRule]] = {}
 
 
-def register(rule_cls: type[Rule]) -> type[Rule]:
+def _register_into(registry: dict, rule_cls):
     if not rule_cls.id:
         raise ValueError(f"rule {rule_cls.__name__} has no id")
-    if rule_cls.id in _REGISTRY:
+    if rule_cls.id in _REGISTRY or rule_cls.id in _GRAPH_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_cls.id}")
-    _REGISTRY[rule_cls.id] = rule_cls
+    registry[rule_cls.id] = rule_cls
     return rule_cls
 
 
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    return _register_into(_REGISTRY, rule_cls)
+
+
+def register_graph(rule_cls: type[GraphRule]) -> type[GraphRule]:
+    return _register_into(_GRAPH_REGISTRY, rule_cls)
+
+
 def registered_rules() -> list[type[Rule]]:
-    """All rules, in id order."""
+    """All per-file rules, in id order."""
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
+def registered_graph_rules() -> list[type[GraphRule]]:
+    """All whole-program rules, in id order."""
+    return [_GRAPH_REGISTRY[rule_id] for rule_id in sorted(_GRAPH_REGISTRY)]
+
+
 def rule_metadata() -> list[dict[str, str]]:
-    """JSON-friendly rule table (id, title, rationale)."""
+    """JSON-friendly rule table (id, title, rationale), per-file and
+    graph rules interleaved in id order."""
+    merged = {**_REGISTRY, **_GRAPH_REGISTRY}
     return [
-        {"id": cls.id, "title": cls.title, "rationale": " ".join(cls.rationale.split())}
-        for cls in registered_rules()
+        {
+            "id": rule_id,
+            "title": merged[rule_id].title,
+            "rationale": " ".join(merged[rule_id].rationale.split()),
+        }
+        for rule_id in sorted(merged)
     ]

@@ -14,6 +14,7 @@ import ast
 import dataclasses
 
 from ..core.config import DetectorConfig
+from .effects import RNG_ALLOWED_NUMPY, WALL_CLOCK_PATHS
 from .rulebase import Rule, register
 
 __all__ = ["CONFIG_FIELDS"]
@@ -50,19 +51,9 @@ class UnseededRandomnessRule(Rule):
     via numpy.random.default_rng / SeedSequence (see core.seeding.spawn_seeds)
     and pass it down."""
 
-    _ALLOWED_NUMPY = frozenset(
-        {
-            "default_rng",
-            "SeedSequence",
-            "Generator",
-            "BitGenerator",
-            "PCG64",
-            "PCG64DXSM",
-            "Philox",
-            "SFC64",
-            "MT19937",
-        }
-    )
+    #: Shared with the whole-program layer (see analysis.effects) so the
+    #: two passes cannot disagree about what counts as seeded.
+    _ALLOWED_NUMPY = RNG_ALLOWED_NUMPY
 
     def visit_Call(self, node: ast.Call) -> None:
         target = self.ctx.resolve_dotted(node.func)
@@ -96,29 +87,14 @@ class WallClockRule(Rule):
     (which everything else, including the rest of obs/, must go through)
     and the historical perf instrumentation in engine/perf.py."""
 
-    _WALL_CLOCK = frozenset(
-        {
-            ("time", "time"),
-            ("time", "time_ns"),
-            ("time", "monotonic"),
-            ("time", "monotonic_ns"),
-            ("time", "perf_counter"),
-            ("time", "perf_counter_ns"),
-            ("time", "process_time"),
-            ("time", "process_time_ns"),
-            ("datetime", "datetime", "now"),
-            ("datetime", "datetime", "utcnow"),
-            ("datetime", "date", "today"),
-        }
-    )
-
-    #: The only modules allowed to touch the real clock.  Note this is
-    #: obs/clock.py alone, not obs/ wholesale: the rest of the subsystem
-    #: must route through the Clock abstraction like everyone else.
-    _BLESSED_SITES = ("engine/perf.py", "obs/clock.py")
+    #: Shared with the whole-program layer (see analysis.effects).
+    _WALL_CLOCK = WALL_CLOCK_PATHS
 
     def run(self) -> list:
-        if self.ctx.path.endswith(self._BLESSED_SITES):
+        # The modules allowed to touch the real clock come from the
+        # [tool.reprolint] wall-clock-allowlist (default: obs/clock.py
+        # alone — not obs/ wholesale — plus the historical engine/perf.py).
+        if self.ctx.path.endswith(tuple(self.ctx.config.wall_clock_allowlist)):
             return self.findings
         return super().run()
 

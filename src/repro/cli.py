@@ -447,8 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="reprolint: AST-based determinism & contract analysis "
-        "(R001-R006, see --list-rules)",
+        help="reprolint: AST + whole-program determinism & contract analysis "
+        "(per-file R001-R006, call-graph R007-R011; see --list-rules)",
     )
     from .analysis.cli import add_lint_arguments
 

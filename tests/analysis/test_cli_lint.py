@@ -59,11 +59,12 @@ class TestJsonReport:
         target = write_fixture(tmp_path, "R002")
         assert main(["lint", str(target), "--format", "json"]) == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["counts"]["new"] == 1
         (finding,) = report["findings"]
         assert finding["rule"] == "R002"
         assert finding["line"] > 0
+        assert finding["evidence"] == []  # per-file rules carry no chain
         assert {"id", "title", "rationale"} <= set(report["rules"][0])
 
     def test_json_is_byte_stable_across_runs(self, tmp_path, capsys):
@@ -75,8 +76,10 @@ class TestJsonReport:
 
 
 class TestListRules:
-    def test_lists_all_six(self, capsys):
+    def test_lists_per_file_and_graph_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in sorted(RULE_FIXTURES):
+            assert rule_id in out
+        for rule_id in ("R007", "R008", "R009", "R010", "R011"):
             assert rule_id in out

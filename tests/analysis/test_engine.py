@@ -121,7 +121,21 @@ class TestRegistry:
             "R006",
         ]
 
+    def test_graph_rules_registered(self):
+        from repro.analysis import registered_graph_rules
+
+        assert [cls.id for cls in registered_graph_rules()] == [
+            "R007",
+            "R008",
+            "R009",
+            "R010",
+            "R011",
+        ]
+
     def test_metadata_is_complete(self):
+        ids = [rule["id"] for rule in rule_metadata()]
+        assert ids == sorted(ids)
+        assert {"R001", "R007", "R011"} <= set(ids)
         for rule in rule_metadata():
             assert rule["id"].startswith("R")
             assert rule["title"]
@@ -131,7 +145,7 @@ class TestRegistry:
 class TestParsing:
     def test_syntax_error_is_a_finding_not_a_crash(self):
         findings = analyze_source("def broken(:\n    pass\n")
-        assert [f.rule for f in findings] == ["E999"]
+        assert [f.rule for f in findings] == ["E000"]
         assert "parse" in findings[0].message
 
     def test_test_detection_by_path(self):

@@ -1,8 +1,9 @@
 """Meta-test: this repository lints clean with an empty baseline.
 
 This is the gate the whole PR rides on — ``repro lint`` over ``src/`` +
-``tests/`` must report zero non-baselined findings, and the checked-in
-baseline must be empty (no grandfathered debt).
+``tests/`` must report zero non-baselined findings, per-file AND
+whole-program (the graph pass is what the CLI runs by default), and the
+checked-in baseline must be empty (no grandfathered debt).
 """
 
 import json
@@ -19,6 +20,21 @@ def test_tree_has_zero_findings():
         f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
     ]
     assert result.files_scanned > 100  # sanity: the walk really covered the tree
+
+
+def test_tree_is_clean_under_whole_program_rules():
+    result = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"],
+        relative_to=REPO_ROOT,
+        graph=True,
+    )
+    assert result.findings == [], [
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    ]
+    # The graph really was built and covers the project.
+    assert result.graph is not None
+    assert any(m.startswith("repro.") for m in result.graph.modules)
+    assert len(result.graph.nodes) > 200
 
 
 def test_checked_in_baseline_is_empty():

@@ -50,6 +50,14 @@ class TestDetector:
         with pytest.raises(RuntimeError):
             ArtifactDetector().is_live(np.zeros(3))
 
+    def test_is_live_stream_matches_feature_path(self, genuine_record, labelled):
+        genuine, fake = labelled
+        detector = ArtifactDetector().fit(genuine, fake)
+        stream = genuine_record.received
+        assert detector.is_live_stream(stream) == detector.is_live(
+            artifact_features(stream)
+        )
+
     def test_fit_validation(self):
         with pytest.raises(ValueError):
             ArtifactDetector().fit(np.zeros((2, 3)), np.zeros((2, 4)))

@@ -92,6 +92,7 @@ class TestJudgement:
         record = simulate_attack_session(duration_s=45.0, seed=55, env=env)
         _feed(verifier, record)
         assert len(verifier.state.attempts) == 2
+        assert verifier.state.attempt_count == 2
         assert len(verifier.all_attempts) == 3
 
 

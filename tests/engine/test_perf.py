@@ -162,3 +162,13 @@ class TestCounters:
             engine.count("clips_total", 2)
             report = engine.perf_report()
         assert report.counters["clips_total"] == 2
+
+    def test_engine_reset_perf_zeroes_counters(self):
+        from repro.engine import ExecutionEngine
+
+        with ExecutionEngine(jobs=1) as engine:
+            engine.count("clips_total", 2)
+            engine.reset_perf()
+            report = engine.perf_report()
+        assert report.counters == {}
+        assert report.cache_hits == 0
