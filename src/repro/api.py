@@ -3,10 +3,14 @@
 Everything an application (or the CLI, or the README examples) should
 import lives here, re-exported from the subsystem that owns it:
 
-* verification — :class:`ChatVerifier` (batch), :class:`StreamingVerifier`
-  (live call), both returning :class:`VerificationReport`;
+* verification — :func:`verify_clips` (batch, the documented offline
+  entry point), :class:`ChatVerifier` (sessions), :class:`StreamingVerifier`
+  (live call), the latter two returning :class:`VerificationReport`;
 * the deployable classifier — :class:`LivenessDetector` and its
   :class:`DetectionResult`;
+* batch feature extraction — :func:`extract_features_batch` over the
+  structure-of-arrays :class:`ClipBatch` core (the per-clip
+  :func:`extract_features` remains as a deprecated batch-of-1 wrapper);
 * configuration — :class:`DetectorConfig` (validated copies via
   :meth:`~repro.core.config.DetectorConfig.with_overrides`) and the
   paper's exact :data:`PAPER_CONFIG`;
@@ -26,9 +30,10 @@ Importing from submodule paths keeps working, but only the names listed
 here are covered by the compatibility promise.
 """
 
+from .core.batch import ClipBatch
 from .core.config import PAPER_CONFIG, DetectorConfig
-from .core.detector import DetectionResult, LivenessDetector
-from .core.features import FeatureVector, extract_features
+from .core.detector import DetectionResult, LivenessDetector, verify_clips
+from .core.features import FeatureVector, extract_features, extract_features_batch
 from .core.pipeline import ChatVerifier, VerificationReport
 from .core.streaming import (
     AttemptVerdict,
@@ -70,6 +75,7 @@ from .obs import (
 __all__ = [
     "AttemptVerdict",
     "CallStatus",
+    "ClipBatch",
     "ClipQuality",
     "DEFAULT_FAULT_SPEC",
     "FaultCell",
@@ -99,6 +105,7 @@ __all__ = [
     "VerificationReport",
     "VotingCombiner",
     "extract_features",
+    "extract_features_batch",
     "read_trace",
     "render_json",
     "render_prometheus",
@@ -108,4 +115,5 @@ __all__ = [
     "simulate_faulted_session",
     "simulate_genuine_session",
     "simulate_replay_attack_session",
+    "verify_clips",
 ]

@@ -1,11 +1,19 @@
 """The paper's primary contribution: the liveness-detection pipeline."""
 
+from .batch import ClipBatch
 from .calibration import CalibrationResult, calibrate_threshold, leave_one_out_scores
 from .challenge import ChallengeQuality, ChallengeScheduler, challenge_quality
 from .config import PAPER_CONFIG, DetectorConfig
-from .detector import DetectionResult, LivenessDetector
+from .detector import DetectionResult, LivenessDetector, verify_clips
 from .diagnostics import ClipDiagnostics, ClipIssue, diagnose_clip, reflection_snr
-from .features import FeatureExtraction, FeatureVector, extract_features
+from .features import (
+    FeatureExtraction,
+    FeatureVector,
+    extract_features,
+    extract_features_batch,
+    features_from_signals,
+    features_from_signals_batch,
+)
 from .lof import LocalOutlierFactor
 from .pipeline import ChatVerifier, DiagnosedVerdict, SessionVerdict, VerificationReport
 from .seeding import spawn_seeds
@@ -27,9 +35,14 @@ __all__ = [
     "ClipIssue",
     "diagnose_clip",
     "reflection_snr",
+    "ClipBatch",
     "FeatureExtraction",
     "FeatureVector",
     "extract_features",
+    "extract_features_batch",
+    "features_from_signals",
+    "features_from_signals_batch",
+    "verify_clips",
     "LocalOutlierFactor",
     "ChatVerifier",
     "DiagnosedVerdict",

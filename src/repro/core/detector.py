@@ -12,15 +12,19 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..obs.instrument import Instrumentation
 from .config import DetectorConfig
-from .features import FeatureExtraction, FeatureVector, extract_features
+from .features import FeatureExtraction, FeatureVector, extract_features_batch
 from .lof import LocalOutlierFactor
 
-__all__ = ["DetectionResult", "LivenessDetector"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> core)
+    from ..engine import ExecutionEngine
+
+__all__ = ["DetectionResult", "LivenessDetector", "verify_clips"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,8 +100,8 @@ class LivenessDetector:
     ) -> "LivenessDetector":
         """Fit from raw legitimate (transmitted, received) luminance pairs."""
         bank = [
-            extract_features(t_lum, r_lum, self.config).features
-            for t_lum, r_lum in clips
+            extraction.features
+            for extraction in extract_features_batch(list(clips), self.config)
         ]
         if len(bank) < 2:
             raise ValueError("need at least 2 training clips")
@@ -148,13 +152,54 @@ class LivenessDetector:
             instrumentation if instrumentation is not None else self.instrumentation
         )
         with instr.span("detector.verify_clip", stage="verdict"):
-            extraction = extract_features(
-                transmitted_luminance,
-                received_luminance,
+            extraction = extract_features_batch(
+                [(transmitted_luminance, received_luminance)],
                 self.config,
                 instrumentation=instr,
-            )
+            )[0]
             result = self.verify_features(extraction.features, extraction)
         verdict = "accept" if result.accepted else "reject"
         instr.count("detector_clips_total", verdict=verdict)
         return result
+
+
+def verify_clips(
+    pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    detector: LivenessDetector,
+    engine: "ExecutionEngine | None" = None,
+) -> list[DetectionResult]:
+    """Batch verification: many clips against one fitted detector.
+
+    The documented entry point for offline verification.  Features for
+    every ``(transmitted, received)`` luminance pair are extracted in one
+    pass through the batch core — or, when an
+    :class:`~repro.engine.ExecutionEngine` is given, through its
+    content-addressed cache and (for ``jobs > 1``) its shared-memory
+    process pool — then classified against the detector's LOF model.
+    Results come back in submission order, each bit-identical to
+    :meth:`LivenessDetector.verify_clip` on that pair alone.
+
+    The engine path returns :class:`DetectionResult` objects without the
+    ``extraction`` intermediates (the cache stores bare feature vectors).
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    instr = detector.instrumentation
+    with instr.span("detector.verify_clips", stage="verdict", clips=len(pairs)):
+        if engine is not None:
+            features = engine.extract_features_batch(pairs, detector.config)
+            results = [detector.verify_features(fv) for fv in features]
+        else:
+            results = [
+                detector.verify_features(extraction.features, extraction)
+                for extraction in extract_features_batch(
+                    pairs, detector.config, instrumentation=instr
+                )
+            ]
+        for result in results:
+            instr.count(
+                "detector_clips_total",
+                verdict="accept" if result.accepted else "reject",
+            )
+    return results

@@ -1,4 +1,4 @@
-"""Feature extraction (Sec. VI): z1..z4 from a pair of luminance signals.
+"""Feature extraction (Sec. VI): z1..z4 from pairs of luminance signals.
 
 Behaviour features (when changes happen):
 
@@ -18,20 +18,30 @@ equal segments:
 
 A genuine prover clusters near (1, 1, high, low); a reenactment attacker
 falls away on at least one dimension — which is all the LOF model needs.
+
+The documented entry points are the batch functions
+:func:`extract_features_batch` / :func:`features_from_signals_batch`:
+they run the Sec. V chain through the structure-of-arrays kernels of
+:mod:`~repro.core.batch` and vectorize the DTW dynamic program across
+all clips' segments.  The per-clip :func:`extract_features` /
+:func:`features_from_signals` remain as deprecated batch-of-1 wrappers;
+each clip's result is bit-identical either way.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
+from collections.abc import Sequence
 
 import numpy as np
 
 from ..obs.instrument import Instrumentation
+from .batch import dtw_distance_batch
 from .config import DetectorConfig
 from .delay import align_signals, estimate_delay
-from .dtw import dtw_distance
 from .matching import ChangeMatch, match_changes
-from .preprocessing import PreprocessedSignal, preprocess
+from .preprocessing import PreprocessedSignal, preprocess_batch
 
 __all__ = [
     "FeatureVector",
@@ -40,7 +50,9 @@ __all__ = [
     "normalize_unit",
     "split_segments",
     "extract_features",
+    "extract_features_batch",
     "features_from_signals",
+    "features_from_signals_batch",
 ]
 
 
@@ -116,40 +128,71 @@ def split_segments(signal: np.ndarray, count: int) -> list[np.ndarray]:
     return [x[i * seg_len : (i + 1) * seg_len] for i in range(count)]
 
 
-def extract_features(
-    transmitted_luminance: np.ndarray,
-    received_luminance: np.ndarray,
+def extract_features_batch(
+    pairs: Sequence[tuple[np.ndarray, np.ndarray]],
     config: DetectorConfig | None = None,
     instrumentation: Instrumentation | None = None,
-) -> FeatureExtraction:
-    """Full Sec. V + Sec. VI pipeline on a pair of raw luminance signals."""
+) -> list[FeatureExtraction]:
+    """Full Sec. V + Sec. VI pipeline over many raw signal pairs.
+
+    One call preprocesses every transmitted and received signal through
+    the batched filter chain and extracts all four features per clip;
+    results come back in submission order, each bit-identical to the
+    per-clip pipeline on that pair alone.
+    """
     config = config or DetectorConfig()
     instr = Instrumentation.ensure(instrumentation)
+    pairs = list(pairs)
+    if not pairs:
+        return []
     with instr.span("features.preprocess", stage="preprocessing"):
-        pre_t = preprocess(transmitted_luminance, config, config.peak_prominence_screen)
-        pre_r = preprocess(received_luminance, config, config.peak_prominence_face)
-    return features_from_signals(pre_t, pre_r, config, instrumentation=instr)
+        pre_ts = preprocess_batch(
+            [t for t, _ in pairs], config, config.peak_prominence_screen
+        )
+        pre_rs = preprocess_batch(
+            [r for _, r in pairs], config, config.peak_prominence_face
+        )
+    return features_from_signals_batch(pre_ts, pre_rs, config, instrumentation=instr)
 
 
-def features_from_signals(
-    pre_t: PreprocessedSignal,
-    pre_r: PreprocessedSignal,
+def features_from_signals_batch(
+    pre_ts: Sequence[PreprocessedSignal],
+    pre_rs: Sequence[PreprocessedSignal],
     config: DetectorConfig | None = None,
     instrumentation: Instrumentation | None = None,
-) -> FeatureExtraction:
-    """Sec. VI features from two already-preprocessed signals."""
+) -> list[FeatureExtraction]:
+    """Sec. VI features for many already-preprocessed signal pairs."""
     config = config or DetectorConfig()
     instr = Instrumentation.ensure(instrumentation)
+    pre_ts = list(pre_ts)
+    pre_rs = list(pre_rs)
+    if len(pre_ts) != len(pre_rs):
+        raise ValueError("need one received signal per transmitted signal")
+    if not pre_ts:
+        return []
     with instr.span("features.match", stage="matching"):
-        return _features_from_signals(pre_t, pre_r, config, instr)
+        return _features_from_signals_batch(pre_ts, pre_rs, config, instr)
 
 
-def _features_from_signals(
+@dataclasses.dataclass
+class _ClipPartial:
+    """One clip's Sec. VI state awaiting its batched DTW distances."""
+
+    matches: list[ChangeMatch]
+    z1: float
+    z2: float
+    delay_s: float
+    t_norm: np.ndarray
+    correlations: list[float]
+    dtw: list[float] = dataclasses.field(default_factory=list)
+
+
+def _match_and_align(
     pre_t: PreprocessedSignal,
     pre_r: PreprocessedSignal,
     config: DetectorConfig,
-    instr: Instrumentation,
-) -> FeatureExtraction:
+) -> tuple[_ClipPartial, list[tuple[np.ndarray, np.ndarray]]]:
+    """Everything per-clip up to (but excluding) the DTW distances."""
 
     # Boundary guard: a transmitted change too close to the clip end has
     # its reflection truncated by the segmentation; a received change too
@@ -198,28 +241,102 @@ def _features_from_signals(
         delay_s = 0.0
 
     correlations: list[float] = []
-    dtw_distances: list[float] = []
+    segment_pairs: list[tuple[np.ndarray, np.ndarray]] = []
     if t_aligned.size >= 2 * config.segment_count:
         t_segments = split_segments(t_aligned, config.segment_count)
         r_segments = split_segments(r_aligned, config.segment_count)
         for t_seg, r_seg in zip(t_segments, r_segments):
             correlations.append(pearson_correlation(t_seg, r_seg))
-            dtw_distances.append(dtw_distance(t_seg, r_seg))
-    if correlations:
-        z3 = min(correlations)
-        z4 = max(dtw_distances) / config.dtw_scale
-    else:
-        # Too little overlap to measure a trend: maximally suspicious.
-        z3 = -1.0
-        z4 = float(max(t_norm.size, 1)) / config.dtw_scale
-
-    features = FeatureVector(z1=z1, z2=z2, z3=float(z3), z4=float(z4))
-    instr.count("features_clips_total")
-    instr.count("features_matched_changes_total", len(matches))
-    return FeatureExtraction(
-        features=features,
-        transmitted=pre_t,
-        received=pre_r,
-        matches=tuple(matches),
+            segment_pairs.append((t_seg, r_seg))
+    partial = _ClipPartial(
+        matches=matches,
+        z1=z1,
+        z2=z2,
         delay_s=delay_s,
+        t_norm=t_norm,
+        correlations=correlations,
     )
+    return partial, segment_pairs
+
+
+def _features_from_signals_batch(
+    pre_ts: list[PreprocessedSignal],
+    pre_rs: list[PreprocessedSignal],
+    config: DetectorConfig,
+    instr: Instrumentation,
+) -> list[FeatureExtraction]:
+    partials: list[_ClipPartial] = []
+    seg_t: list[np.ndarray] = []
+    seg_r: list[np.ndarray] = []
+    seg_owner: list[int] = []
+    for i, (pre_t, pre_r) in enumerate(zip(pre_ts, pre_rs)):
+        partial, segment_pairs = _match_and_align(pre_t, pre_r, config)
+        partials.append(partial)
+        for t_seg, r_seg in segment_pairs:
+            seg_t.append(t_seg)
+            seg_r.append(r_seg)
+            seg_owner.append(i)
+
+    # One vectorized dynamic program over every clip's segments at once
+    # (the z4 hot loop that used to run clip-by-clip in pure Python).
+    if seg_t:
+        distances = dtw_distance_batch(seg_t, seg_r)
+        for owner, distance in zip(seg_owner, distances):
+            partials[owner].dtw.append(float(distance))
+
+    results: list[FeatureExtraction] = []
+    for pre_t, pre_r, partial in zip(pre_ts, pre_rs, partials):
+        if partial.correlations:
+            z3 = min(partial.correlations)
+            z4 = max(partial.dtw) / config.dtw_scale
+        else:
+            # Too little overlap to measure a trend: maximally suspicious.
+            z3 = -1.0
+            z4 = float(max(partial.t_norm.size, 1)) / config.dtw_scale
+        features = FeatureVector(
+            z1=partial.z1, z2=partial.z2, z3=float(z3), z4=float(z4)
+        )
+        instr.count("features_clips_total")
+        instr.count("features_matched_changes_total", len(partial.matches))
+        results.append(
+            FeatureExtraction(
+                features=features,
+                transmitted=pre_t,
+                received=pre_r,
+                matches=tuple(partial.matches),
+                delay_s=partial.delay_s,
+            )
+        )
+    return results
+
+
+def extract_features(
+    transmitted_luminance: np.ndarray,
+    received_luminance: np.ndarray,
+    config: DetectorConfig | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> FeatureExtraction:
+    """Deprecated batch-of-1 view of :func:`extract_features_batch`."""
+    warnings.warn(
+        "extract_features is deprecated; use extract_features_batch",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return extract_features_batch(
+        [(transmitted_luminance, received_luminance)], config, instrumentation
+    )[0]
+
+
+def features_from_signals(
+    pre_t: PreprocessedSignal,
+    pre_r: PreprocessedSignal,
+    config: DetectorConfig | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> FeatureExtraction:
+    """Deprecated batch-of-1 view of :func:`features_from_signals_batch`."""
+    warnings.warn(
+        "features_from_signals is deprecated; use features_from_signals_batch",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return features_from_signals_batch([pre_t], [pre_r], config, instrumentation)[0]

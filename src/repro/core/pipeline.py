@@ -24,9 +24,9 @@ from ..obs.instrument import Instrumentation
 from ..video.stream import VideoStream
 from ..vision.landmarks import LandmarkDetector
 from .config import DetectorConfig
-from .detector import DetectionResult, LivenessDetector
+from .detector import DetectionResult, LivenessDetector, verify_clips
 from .diagnostics import ClipDiagnostics, diagnose_clip
-from .features import FeatureVector, extract_features
+from .features import FeatureVector, extract_features_batch
 from .luminance import received_luminance_signal, transmitted_luminance_signal
 from .voting import Verdict, VotingCombiner
 
@@ -118,7 +118,7 @@ class ChatVerifier:
     ) -> FeatureVector:
         """Features of one clip pair (training-time helper)."""
         t_lum, r_lum = self.extract_signals(transmitted, received)
-        return extract_features(t_lum, r_lum, self.config).features
+        return extract_features_batch([(t_lum, r_lum)], self.config)[0].features
 
     # ------------------------------------------------------------------
     # Training
@@ -130,12 +130,16 @@ class ChatVerifier:
         Each session is segmented into clips; every clip contributes one
         feature vector to the bank.
         """
-        bank: list[FeatureVector] = []
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []
         for record in sessions:
             for t_clip, r_clip in self._paired_clips(record.transmitted, record.received):
-                bank.append(self.clip_features(t_clip, r_clip))
-        if len(bank) < 2:
+                pairs.append(self.extract_signals(t_clip, r_clip))
+        if len(pairs) < 2:
             raise ValueError("enrollment needs at least 2 clips of genuine chat")
+        bank = [
+            extraction.features
+            for extraction in extract_features_batch(pairs, self.config)
+        ]
         self.detector.fit(bank)
         return self
 
@@ -161,14 +165,15 @@ class ChatVerifier:
         self,
         record: SessionRecord,
     ) -> VerificationReport:
-        """Segment a session into clips, verify each, majority-vote."""
+        """Segment a session into clips, batch-verify them, majority-vote."""
         with self.instrumentation.span("verifier.verify_session", stage="verdict"):
-            attempts = [
-                self.verify_clip(t_clip, r_clip)
+            pairs = [
+                self.extract_signals(t_clip, r_clip)
                 for t_clip, r_clip in self._paired_clips(
                     record.transmitted, record.received
                 )
             ]
+            attempts = verify_clips(pairs, self.detector)
             if not attempts:
                 raise ValueError(
                     "session shorter than one detection clip "

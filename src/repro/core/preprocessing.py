@@ -13,16 +13,30 @@ lives below 1 Hz (Fig. 6).  The paper's chain, applied in order:
 7. peak finding with minimal prominence        -> ``peaks``
 
 Every stage is a pure function over 1-D arrays so the ablation benchmarks
-can splice stages out; :func:`preprocess` composes them and keeps all
-intermediates (Fig. 7 plots them).
+can splice stages out.  Since the batch-core refactor the arithmetic
+lives in :mod:`~repro.core.batch`: the per-clip stage functions here are
+batch-of-1 views over the ``*_batch`` kernels, and
+:func:`preprocess_batch` runs the whole chain over N clips per NumPy
+call.  :func:`preprocess` composes the chain for one clip and keeps all
+intermediates (Fig. 7 plots them) — bit-identical to its row of any
+batch, because every kernel is row-independent.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 import numpy as np
 
+from .batch import (
+    ClipBatch,
+    group_by_length,
+    moving_rms_batch,
+    moving_variance_batch,
+    reflect_convolve_batch,
+    threshold_filter_batch,
+)
 from .config import DetectorConfig
 from .peaks import Peak, find_peaks
 
@@ -37,6 +51,7 @@ __all__ = [
     "moving_average",
     "PreprocessedSignal",
     "preprocess",
+    "preprocess_batch",
 ]
 
 
@@ -53,22 +68,6 @@ def design_lowpass(cutoff_hz: float, sample_rate_hz: float, taps: int) -> np.nda
     return kernel / kernel.sum()
 
 
-def _reflect_convolve(x: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-    """Same-length convolution with reflected edges (no edge transient)."""
-    half = len(kernel) // 2
-    if x.size == 0:
-        return x.copy()
-    # np.pad(mode="reflect") caps pad width at size - 1; extend with edge
-    # values beyond that (only matters for signals shorter than the kernel).
-    mode = "reflect" if x.size > 1 else "edge"
-    reflect_pad = min(half, x.size - 1) if x.size > 1 else 0
-    padded = np.pad(x, pad_width=reflect_pad, mode=mode)
-    extra = half - reflect_pad
-    if extra > 0:
-        padded = np.pad(padded, pad_width=extra, mode="edge")
-    return np.convolve(padded, kernel, mode="same")[half : half + x.size]
-
-
 def lowpass_filter(
     signal: np.ndarray,
     sample_rate_hz: float,
@@ -78,7 +77,7 @@ def lowpass_filter(
     """Stage 1: remove the broadband high-frequency noise (Fig. 6)."""
     x = _as_signal(signal)
     kernel = design_lowpass(cutoff_hz, sample_rate_hz, taps)
-    return _reflect_convolve(x, kernel)
+    return reflect_convolve_batch(x[None, :], kernel)[0]
 
 
 def moving_variance(signal: np.ndarray, window: int) -> np.ndarray:
@@ -92,45 +91,20 @@ def moving_variance(signal: np.ndarray, window: int) -> np.ndarray:
     peak trails its luminance edge by at most the window length.
     """
     x = _as_signal(signal)
-    if window < 1:
-        raise ValueError("window must be >= 1")
-    if x.size == 0:
-        return x.copy()
-    # Cumulative-sum sliding variance: var = E[x^2] - E[x]^2, evaluated
-    # for all windows at once by slicing the prefix sums (bit-identical
-    # to the per-sample loop it replaced: same operations per element).
-    csum = np.concatenate(([0.0], np.cumsum(x)))
-    csum2 = np.concatenate(([0.0], np.cumsum(x * x)))
-    idx = np.arange(x.size)
-    lo = np.maximum(idx - window + 1, 0)
-    n = idx - lo + 1
-    mean = (csum[idx + 1] - csum[lo]) / n
-    mean2 = (csum2[idx + 1] - csum2[lo]) / n
-    return np.maximum(mean2 - mean * mean, 0.0)
+    return moving_variance_batch(x[None, :], window)[0]
 
 
 def threshold_filter(signal: np.ndarray, cutoff: float) -> np.ndarray:
     """Stage 3: zero out small spikes below the cut-off (paper: 2)."""
     x = _as_signal(signal)
-    if cutoff < 0:
-        raise ValueError("cutoff must be non-negative")
-    return np.where(x >= cutoff, x, 0.0)
+    return threshold_filter_batch(x[None, :], cutoff)[0]
 
 
 def moving_rms(signal: np.ndarray, window: int) -> np.ndarray:
     """Stage 4: sliding root-mean-square — groups neighbouring lower
     peaks split by low-frequency noise into one bump (window 30)."""
     x = _as_signal(signal)
-    if window < 1:
-        raise ValueError("window must be >= 1")
-    if x.size == 0:
-        return x.copy()
-    csum2 = np.concatenate(([0.0], np.cumsum(x * x)))
-    half = window // 2
-    idx = np.arange(x.size)
-    lo = np.maximum(idx - half, 0)
-    hi = np.minimum(idx + window - half, x.size)
-    return np.sqrt((csum2[hi] - csum2[lo]) / (hi - lo))
+    return moving_rms_batch(x[None, :], window)[0]
 
 
 def savgol_coefficients(window: int, polyorder: int) -> np.ndarray:
@@ -159,7 +133,7 @@ def savgol_filter(signal: np.ndarray, window: int = 31, polyorder: int = 3) -> n
     """Stage 5: polynomial smoothing (window 31) preserving bump shape."""
     x = _as_signal(signal)
     kernel = savgol_coefficients(window, polyorder)
-    return _reflect_convolve(x, kernel)
+    return reflect_convolve_batch(x[None, :], kernel)[0]
 
 
 def moving_average(signal: np.ndarray, window: int) -> np.ndarray:
@@ -167,10 +141,8 @@ def moving_average(signal: np.ndarray, window: int) -> np.ndarray:
     x = _as_signal(signal)
     if window < 1:
         raise ValueError("window must be >= 1")
-    if x.size == 0:
-        return x.copy()
     kernel = np.full(window, 1.0 / window)
-    return _reflect_convolve(x, kernel)
+    return reflect_convolve_batch(x[None, :], kernel)[0]
 
 
 def _as_signal(signal: np.ndarray) -> np.ndarray:
@@ -210,42 +182,66 @@ class PreprocessedSignal:
         return len(self.peaks)
 
 
+def preprocess_batch(
+    signals: Sequence[np.ndarray] | ClipBatch,
+    config: DetectorConfig,
+    min_prominence: float,
+) -> list[PreprocessedSignal]:
+    """Run the full Sec. V chain over N clips, batched per stage.
+
+    Clips are grouped by length (padding never enters a kernel) and the
+    three FIR kernels are designed once per call instead of once per
+    clip.  Row independence of the batch kernels makes every clip's
+    result bit-identical to :func:`preprocess` on that clip alone.
+    """
+    batch = signals if isinstance(signals, ClipBatch) else ClipBatch.from_signals(signals)
+    lowpass_kernel = design_lowpass(
+        config.lowpass_cutoff_hz, config.sample_rate_hz, config.lowpass_taps
+    )
+    savgol_kernel = savgol_coefficients(config.savgol_window, config.savgol_polyorder)
+    if config.moving_average_window < 1:
+        raise ValueError("window must be >= 1")
+    average_kernel = np.full(
+        config.moving_average_window, 1.0 / config.moving_average_window
+    )
+    results: list[PreprocessedSignal | None] = [None] * len(batch)
+    for length, indices in group_by_length(batch.lengths):
+        raw = batch.data[indices][:, :length]
+        lowpassed = reflect_convolve_batch(raw, lowpass_kernel)
+        variance = moving_variance_batch(lowpassed, config.variance_window)
+        thresholded = threshold_filter_batch(variance, config.variance_threshold)
+        rms = moving_rms_batch(thresholded, config.rms_window)
+        # The polynomial fit can undershoot below zero on the flanks of a
+        # variance lump; two adjacent lumps leave a *negative-valued*
+        # local maximum between their undershoots, which the peak finder
+        # would report as a phantom luminance change.  Variance is
+        # non-negative by definition, so the smoothed signal is clamped
+        # at zero.
+        savgol = np.maximum(reflect_convolve_batch(rms, savgol_kernel), 0.0)
+        smoothed = np.maximum(reflect_convolve_batch(savgol, average_kernel), 0.0)
+        for g, i in enumerate(indices):
+            results[int(i)] = PreprocessedSignal(
+                raw=raw[g],
+                lowpassed=lowpassed[g],
+                variance=variance[g],
+                thresholded=thresholded[g],
+                rms=rms[g],
+                savgol=savgol[g],
+                smoothed=smoothed[g],
+                peaks=tuple(find_peaks(smoothed[g], min_prominence)),
+                sample_rate_hz=config.sample_rate_hz,
+            )
+    return [r for r in results if r is not None]
+
+
 def preprocess(
     signal: np.ndarray,
     config: DetectorConfig,
     min_prominence: float,
 ) -> PreprocessedSignal:
-    """Run the full Sec. V chain on one raw luminance signal."""
-    raw = _as_signal(signal)
-    lowpassed = lowpass_filter(
-        raw,
-        sample_rate_hz=config.sample_rate_hz,
-        cutoff_hz=config.lowpass_cutoff_hz,
-        taps=config.lowpass_taps,
-    )
-    variance = moving_variance(lowpassed, config.variance_window)
-    thresholded = threshold_filter(variance, config.variance_threshold)
-    rms = moving_rms(thresholded, config.rms_window)
-    # The polynomial fit can undershoot below zero on the flanks of a
-    # variance lump; two adjacent lumps leave a *negative-valued* local
-    # maximum between their undershoots, which the peak finder would
-    # report as a phantom luminance change.  Variance is non-negative by
-    # definition, so the smoothed signal is clamped at zero.
-    savgol = np.maximum(
-        savgol_filter(rms, config.savgol_window, config.savgol_polyorder), 0.0
-    )
-    smoothed = np.maximum(
-        moving_average(savgol, config.moving_average_window), 0.0
-    )
-    peaks = tuple(find_peaks(smoothed, min_prominence))
-    return PreprocessedSignal(
-        raw=raw,
-        lowpassed=lowpassed,
-        variance=variance,
-        thresholded=thresholded,
-        rms=rms,
-        savgol=savgol,
-        smoothed=smoothed,
-        peaks=peaks,
-        sample_rate_hz=config.sample_rate_hz,
-    )
+    """Run the full Sec. V chain on one raw luminance signal.
+
+    A batch-of-1 view over :func:`preprocess_batch`.
+    """
+    _as_signal(signal)
+    return preprocess_batch([signal], config, min_prominence)[0]

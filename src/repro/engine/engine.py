@@ -37,16 +37,21 @@ from typing import Any, TypeVar
 import numpy as np
 
 from ..core.config import DetectorConfig
-from ..core.features import FeatureVector, extract_features
+from ..core.features import FeatureVector, extract_features_batch
 from ..obs.instrument import Instrumentation
 from ..obs.metrics import MetricsSnapshot
 from .cache import FeatureCache
 from .perf import PerfRecorder, PerfReport
+from .sharedmem import SignalPack, extract_pack_chunk
 
 __all__ = ["ExecutionEngine", "task_rng"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Below this many cache misses the pool + shared-memory setup cannot
+#: beat simply running the batch core in-process.
+_MIN_SHARED_BATCH = 2
 
 
 def task_rng(*key: int) -> np.random.Generator:
@@ -61,10 +66,17 @@ def task_rng(*key: int) -> np.random.Generator:
     return np.random.default_rng(list(key))
 
 
-def _extract_one(payload: tuple[np.ndarray, np.ndarray, DetectorConfig]) -> FeatureVector:
-    """Worker-side feature extraction (module-level for pickling)."""
-    t_lum, r_lum, config = payload
-    return extract_features(t_lum, r_lum, config).features
+def _run_chunk(payload: tuple[Callable[[Any], Any], list[Any]]) -> list[Any]:
+    """Worker-side execution of one chunk of tasks (module-level for
+    pickling): the function is shipped once per chunk, not once per task."""
+    fn, chunk = payload
+    return [fn(task) for task in chunk]
+
+
+def _chunk_bounds(count: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``count`` items into ``chunks`` contiguous non-empty ranges."""
+    edges = [count * c // chunks for c in range(chunks + 1)]
+    return list(zip(edges[:-1], edges[1:]))
 
 
 class ExecutionEngine(AbstractContextManager):
@@ -114,6 +126,50 @@ class ExecutionEngine(AbstractContextManager):
     # Task mapping
     # ------------------------------------------------------------------
 
+    def map_batches(
+        self,
+        fn: Callable[[_T], _R],
+        tasks: Sequence[_T],
+        stage: str = "map",
+        chunk_size: int | None = None,
+    ) -> list[_R]:
+        """Apply ``fn`` to every task, in order, with chunked submission.
+
+        The one place task batching lives: every runner that fans work
+        out (experiment sweeps, session simulation, the fault matrix)
+        routes through here, so chunk sizing policy is defined once.
+        Each chunk ships ``fn`` plus its tasks as a single pickle and a
+        worker runs the whole chunk — ``jobs * chunks-per-worker``
+        pickles total instead of one per task.
+
+        ``fn`` must be a module-level callable and each task must carry
+        everything it needs (including its seed) — the engine does not
+        smuggle state into workers.  An empty task list is a no-op: no
+        span, no ``engine_stage_*`` sample, no pool spin-up.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        span = self.instrumentation.span(
+            f"engine.{stage}", stage="engine", tasks=len(tasks), jobs=self.jobs
+        )
+        with span, self._recorder.stage(stage, tasks=len(tasks)):
+            if self.jobs == 1 or len(tasks) == 1:
+                return [fn(task) for task in tasks]
+            if chunk_size is None:
+                # Amortize pickling while leaving a few chunks per worker
+                # for load balancing.
+                chunk_size = max(1, -(-len(tasks) // (self.jobs * 4)))
+            chunks = [
+                tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)
+            ]
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_chunk, (fn, chunk)) for chunk in chunks]
+            results: list[_R] = []
+            for future in futures:
+                results.extend(future.result())
+            return results
+
     def map(
         self,
         fn: Callable[[_T], _R],
@@ -121,23 +177,8 @@ class ExecutionEngine(AbstractContextManager):
         stage: str = "map",
         chunksize: int | None = None,
     ) -> list[_R]:
-        """Apply ``fn`` to every task, in order, serially or on the pool.
-
-        ``fn`` must be a module-level callable and each task must carry
-        everything it needs (including its seed) — the engine does not
-        smuggle state into workers.
-        """
-        tasks = list(tasks)
-        span = self.instrumentation.span(
-            f"engine.{stage}", stage="engine", tasks=len(tasks), jobs=self.jobs
-        )
-        with span, self._recorder.stage(stage, tasks=len(tasks)):
-            if self.jobs == 1 or len(tasks) <= 1:
-                return [fn(task) for task in tasks]
-            if chunksize is None:
-                # Amortize pickling without starving workers of chunks.
-                chunksize = max(1, len(tasks) // (self.jobs * 8))
-            return list(self._ensure_pool().map(fn, tasks, chunksize=chunksize))
+        """Compatibility alias of :meth:`map_batches`."""
+        return self.map_batches(fn, tasks, stage=stage, chunk_size=chunksize)
 
     def stage(self, name: str, tasks: int = 0):
         """Context manager timing an in-process stage (e.g. aggregation)."""
@@ -179,8 +220,16 @@ class ExecutionEngine(AbstractContextManager):
         """Features for many clips: cache lookups first, then one
         parallel map over the misses only.
 
-        Duplicate pairs within one batch are extracted once.
+        Misses run through the structure-of-arrays batch core — in
+        process for a serial engine, or fanned out over the pool via one
+        shared-memory :class:`~repro.engine.sharedmem.SignalPack` so
+        workers attach to the signal bytes instead of unpickling them.
+        Duplicate pairs within one batch are extracted once.  An empty
+        batch is a no-op (no span, no stage sample, no pool).
         """
+        pairs = list(pairs)
+        if not pairs:
+            return []
         keys = [self.cache.key_for(t, r, config) for t, r in pairs]
         span = self.instrumentation.span(
             f"engine.{stage}", stage="engine", tasks=len(pairs), jobs=self.jobs
@@ -189,7 +238,7 @@ class ExecutionEngine(AbstractContextManager):
             found: dict[str, FeatureVector] = {}
             pending: set[str] = set()
             miss_keys: list[str] = []
-            miss_payloads: list[tuple[np.ndarray, np.ndarray, DetectorConfig]] = []
+            miss_pairs: list[tuple[np.ndarray, np.ndarray]] = []
             for key, (t, r) in zip(keys, pairs):
                 if key in found or key in pending:  # duplicate within this batch
                     self.cache.hits += 1
@@ -200,21 +249,52 @@ class ExecutionEngine(AbstractContextManager):
                 else:
                     pending.add(key)
                     miss_keys.append(key)
-                    miss_payloads.append((t, r, config))
-            if miss_payloads:
-                if self.jobs == 1 or len(miss_payloads) <= 1:
-                    extracted = [_extract_one(p) for p in miss_payloads]
-                else:
-                    chunksize = max(1, len(miss_payloads) // (self.jobs * 8))
-                    extracted = list(
-                        self._ensure_pool().map(
-                            _extract_one, miss_payloads, chunksize=chunksize
-                        )
-                    )
-                for key, features in zip(miss_keys, extracted):
+                    miss_pairs.append((t, r))
+            if miss_pairs:
+                for key, features in zip(
+                    miss_keys, self._extract_misses(miss_pairs, config)
+                ):
                     self.cache.put(key, features)
                     found[key] = features
         return [found[key] for key in keys]
+
+    def _extract_misses(
+        self,
+        miss_pairs: list[tuple[np.ndarray, np.ndarray]],
+        config: DetectorConfig,
+    ) -> list[FeatureVector]:
+        """Extract uncached pairs: batch core in-process, or chunked over
+        the pool through one shared-memory pack.
+
+        Chunks partition the miss list into at most ``min(jobs, n)``
+        contiguous non-empty ranges (never an empty chunk, never an
+        empty segment), and the batch kernels are row-independent, so
+        concatenating chunk results reproduces the serial batch bitwise.
+        """
+        total_samples = sum(
+            np.asarray(t).size + np.asarray(r).size for t, r in miss_pairs
+        )
+        if (
+            self.jobs == 1
+            or len(miss_pairs) < _MIN_SHARED_BATCH
+            or total_samples == 0
+        ):
+            return [
+                extraction.features
+                for extraction in extract_features_batch(miss_pairs, config)
+            ]
+        pool = self._ensure_pool()
+        with SignalPack(miss_pairs) as pack:
+            futures = [
+                pool.submit(extract_pack_chunk, (pack.handle, lo, hi, config))
+                for lo, hi in _chunk_bounds(
+                    len(miss_pairs), min(self.jobs, len(miss_pairs))
+                )
+            ]
+            extracted: list[FeatureVector] = []
+            for future in futures:
+                extracted.extend(future.result())
+        return extracted
 
     # ------------------------------------------------------------------
     # Performance

@@ -1,0 +1,150 @@
+"""Shared-memory transport for batched feature extraction.
+
+Pickling per-clip arrays into worker processes costs more than the
+per-clip NumPy work it fans out (``results/engine_scaling.txt``), so the
+engine ships signal batches as **one** structure-of-arrays
+:class:`multiprocessing.shared_memory.SharedMemory` segment instead:
+
+* :class:`SignalPack` (parent side) concatenates every transmitted and
+  received signal of a batch into a single float64 buffer and owns the
+  segment's lifetime (create -> fill -> close+unlink).
+* :class:`PackHandle` is the tiny picklable descriptor a worker needs to
+  find its slice: segment name, per-signal offsets and lengths.
+* :func:`extract_pack_chunk` (worker side) attaches by name, slices one
+  contiguous chunk of pairs as zero-copy views, and runs the batch core
+  on them — returning only the small feature vectors.
+
+Chunks partition the batch, so worker results concatenated in submission
+order are exactly the batch-of-N result: pool output stays bit-identical
+to serial output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.features import FeatureVector, extract_features_batch
+
+__all__ = ["PackHandle", "SignalPack", "extract_pack_chunk"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PackHandle:
+    """Picklable descriptor of one packed signal segment.
+
+    Signal ``2*i`` is clip ``i``'s transmitted luminance, ``2*i + 1`` its
+    received luminance; each lives at ``[offsets[j], offsets[j] +
+    lengths[j])`` in the segment's float64 view.
+    """
+
+    name: str
+    offsets: np.ndarray
+    lengths: np.ndarray
+    total: int
+
+    @property
+    def pair_count(self) -> int:
+        return self.lengths.size // 2
+
+
+class SignalPack:
+    """Parent-side owner of one shared SoA buffer of (t, r) signal pairs.
+
+    Use as a context manager: the segment is unlinked on exit, after all
+    worker futures have been drained.  Refuses to create an empty
+    segment — the engine routes degenerate batches in-process instead.
+    """
+
+    def __init__(self, pairs: Sequence[tuple[np.ndarray, np.ndarray]]) -> None:
+        flats: list[np.ndarray] = []
+        for t_lum, r_lum in pairs:
+            flats.append(np.ascontiguousarray(t_lum, dtype=np.float64).ravel())
+            flats.append(np.ascontiguousarray(r_lum, dtype=np.float64).ravel())
+        lengths = np.array([f.size for f in flats], dtype=np.int64)
+        total = int(lengths.sum()) if flats else 0
+        if total == 0:
+            raise ValueError("refusing to create an empty shared-memory segment")
+        offsets = np.zeros(lengths.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        self._shm = shared_memory.SharedMemory(create=True, size=total * 8)
+        view = np.ndarray((total,), dtype=np.float64, buffer=self._shm.buf)
+        for offset, flat in zip(offsets, flats):
+            view[offset : offset + flat.size] = flat
+        del view  # release the buffer export so close() can unmap
+        self.handle = PackHandle(
+            name=self._shm.name, offsets=offsets, lengths=lengths, total=total
+        )
+
+    def close(self) -> None:
+        """Unmap and remove the segment (workers must be done)."""
+        self._shm.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "SignalPack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker bookkeeping.
+
+    The parent owns the segment's lifetime (create + unlink).  Before
+    Python 3.13 attaching also *registers* the segment with the attaching
+    process's resource tracker: a worker with its own tracker then warns
+    about a "leaked" segment at shutdown, and a worker sharing the
+    parent's tracker cannot unregister without deleting the parent's
+    entry.  So the attach itself must not register — via ``track=False``
+    where available, else by masking ``register`` for the one call.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def extract_pack_chunk(
+    payload: tuple[PackHandle, int, int, DetectorConfig],
+) -> list[FeatureVector]:
+    """Worker-side batch extraction over pairs ``[lo, hi)`` of a pack.
+
+    Module-level for pickling.  Attaches to the shared segment by name,
+    builds zero-copy signal views, and runs the structure-of-arrays core
+    on the whole chunk in one call.  Only the feature vectors cross back
+    to the parent; every view into the segment is dropped before the
+    worker detaches.
+    """
+    handle, lo, hi, config = payload
+    shm = _attach_untracked(handle.name)
+    try:
+        flat = np.ndarray((handle.total,), dtype=np.float64, buffer=shm.buf)
+        pairs = []
+        for i in range(lo, hi):
+            t_off = int(handle.offsets[2 * i])
+            r_off = int(handle.offsets[2 * i + 1])
+            t_len = int(handle.lengths[2 * i])
+            r_len = int(handle.lengths[2 * i + 1])
+            pairs.append((flat[t_off : t_off + t_len], flat[r_off : r_off + r_len]))
+        out = [
+            extraction.features
+            for extraction in extract_features_batch(pairs, config)
+        ]
+    finally:
+        # Drop the buffer exports before detaching: mmap refuses to close
+        # while NumPy views are still alive.
+        pairs = None
+        flat = None
+        shm.close()
+    return out

@@ -29,7 +29,7 @@ if TYPE_CHECKING:
     from ..engine import ExecutionEngine
 
 from ..core.config import DetectorConfig
-from ..core.features import FeatureVector, extract_features
+from ..core.features import FeatureVector, extract_features_batch
 from ..core.luminance import received_luminance_signal, transmitted_luminance_signal
 from ..vision.landmarks import LandmarkDetector
 from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile, make_population
@@ -44,7 +44,7 @@ from .simulate import (
 __all__ = ["ClipInstance", "FeatureDataset", "build_dataset", "clip_from_session"]
 
 #: Bump when the generation pipeline changes incompatibly (invalidates caches).
-GENERATOR_VERSION = 10
+GENERATOR_VERSION = 11
 
 GENUINE = "genuine"
 ATTACK = "attack"
@@ -123,7 +123,7 @@ def clip_from_session(
     r_lum = received_luminance_signal(received, detector).luminance
     n = min(t_lum.size, r_lum.size, config.samples_per_clip)
     t_lum, r_lum = t_lum[:n], r_lum[:n]
-    features = extract_features(t_lum, r_lum, config).features
+    features = extract_features_batch([(t_lum, r_lum)], config)[0].features
     return ClipInstance(
         user=user,
         role=role,
@@ -291,7 +291,7 @@ def build_dataset(
         for clip_index in range(clips_per_role)
     ]
     if engine is not None:
-        instances = engine.map(_generate_clip_task, tasks, stage="simulate")
+        instances = engine.map_batches(_generate_clip_task, tasks, stage="simulate")
     else:
         instances = []
         for done, task in enumerate(tasks, start=1):

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.config import DetectorConfig
 from ..core.detector import LivenessDetector
-from ..core.features import extract_features
+from ..core.features import extract_features_batch
 from ..core.pipeline import ChatVerifier
 from ..core.streaming import CallStatus, StreamingVerifier
 from ..chat.session import SessionRecord, VideoChatSession
@@ -39,11 +39,13 @@ from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile
 from .runner import _map
 from ..core.seeding import spawn_seeds
 from .simulate import (
+    SessionSpec,
     build_genuine_prover,
     build_links,
     build_verifier,
     default_user,
     simulate_genuine_session,
+    simulate_session_batch,
 )
 
 __all__ = [
@@ -198,15 +200,24 @@ def _enrollment_bank(
 ) -> np.ndarray:
     """Legitimate feature bank from clean genuine sessions (one clip each)."""
     verifier = ChatVerifier(config)
-    pairs = []
-    for i in range(sessions):
-        clip_seed = int(task_rng(seed, 900, i).integers(0, 2**31 - 1))
-        record = simulate_genuine_session(
-            duration_s=config.clip_duration_s, seed=clip_seed, env=env, user=user
+    specs = [
+        SessionSpec(
+            kind="genuine",
+            seed=int(task_rng(seed, 900, i).integers(0, 2**31 - 1)),
+            duration_s=config.clip_duration_s,
         )
-        pairs.append(verifier.extract_signals(record.transmitted, record.received))
+        for i in range(sessions)
+    ]
+    records = simulate_session_batch(specs, env=env, user=user, engine=engine)
+    pairs = [
+        verifier.extract_signals(record.transmitted, record.received)
+        for record in records
+    ]
     if engine is None:
-        features = [extract_features(t, r, config).features for t, r in pairs]
+        features = [
+            extraction.features
+            for extraction in extract_features_batch(pairs, config)
+        ]
     else:
         features = engine.extract_features_batch(pairs, config, stage="enroll")
     return np.stack([fv.as_array() for fv in features])

@@ -41,7 +41,7 @@ import numpy as np
 
 from ..core.config import DetectorConfig
 from ..core.detector import LivenessDetector
-from ..core.features import extract_features
+from ..core.features import extract_features_batch
 from ..core.voting import VotingCombiner
 from ..engine import ExecutionEngine, task_rng
 from .dataset import ATTACK, GENUINE, FeatureDataset, build_dataset
@@ -119,10 +119,16 @@ def _map(
     tasks: Sequence[Any],
     stage: str,
 ) -> list[Any]:
-    """Run protocol tasks through the engine, or serially without one."""
+    """Run protocol tasks through the engine, or serially without one.
+
+    The engine path goes through :meth:`ExecutionEngine.map_batches` —
+    the single place chunk sizing and worker submission live — so every
+    runner (sweeps here, session simulation, the fault matrix) shares
+    one submission policy.
+    """
     if engine is None:
         return [fn(task) for task in tasks]
-    return engine.map(fn, tasks, stage=stage)
+    return engine.map_batches(fn, tasks, stage=stage)
 
 
 def _features_of(
@@ -784,8 +790,8 @@ def run_forgery_delay(
         ]
         if engine is None:
             feature_vectors = [
-                extract_features(t_lum, r_lum, config).features
-                for t_lum, r_lum in pairs
+                extraction.features
+                for extraction in extract_features_batch(pairs, config)
             ]
         else:
             feature_vectors = engine.extract_features_batch(pairs, config)

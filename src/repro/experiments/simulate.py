@@ -11,7 +11,14 @@ so every session is exactly reproducible.
 
 from __future__ import annotations
 
+import dataclasses
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..engine import ExecutionEngine
 
 from ..attack.adaptive import AdaptiveLuminanceForger
 from ..attack.reenactment import ReenactmentAttacker
@@ -38,6 +45,8 @@ __all__ = [
     "simulate_attack_session",
     "simulate_adaptive_attack_session",
     "simulate_replay_attack_session",
+    "simulate_session_batch",
+    "SessionSpec",
     "default_user",
 ]
 
@@ -238,6 +247,76 @@ def simulate_adaptive_attack_session(
         ambient_lux=env.prover_ambient_lux,
     )
     return run_session(attacker, env, s_session, duration_s, instrumentation)
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionSpec:
+    """One session to simulate, as picklable engine-task coordinates.
+
+    ``kind`` selects the prover: ``"genuine"``, ``"attack"``,
+    ``"adaptive"`` (requires ``processing_delay_s``) or ``"replay"``.
+    The seed fully determines the session, so a spec list run through a
+    pool is bit-identical to a serial loop over the ``simulate_*``
+    functions.
+    """
+
+    kind: str
+    seed: int
+    duration_s: float = 15.0
+    processing_delay_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("genuine", "attack", "adaptive", "replay"):
+            raise ValueError(f"unknown session kind {self.kind!r}")
+        if self.kind == "adaptive" and self.processing_delay_s is None:
+            raise ValueError("adaptive sessions need processing_delay_s")
+
+
+def _session_task(
+    payload: tuple[SessionSpec, Environment | None, UserProfile | None],
+) -> SessionRecord:
+    """Engine task wrapper: one spec -> one session (module-level for
+    pickling)."""
+    spec, env, user = payload
+    if spec.kind == "genuine":
+        return simulate_genuine_session(
+            duration_s=spec.duration_s, seed=spec.seed, env=env, user=user
+        )
+    if spec.kind == "attack":
+        return simulate_attack_session(
+            duration_s=spec.duration_s, seed=spec.seed, env=env, victim=user
+        )
+    if spec.kind == "adaptive":
+        assert spec.processing_delay_s is not None  # enforced by SessionSpec
+        return simulate_adaptive_attack_session(
+            processing_delay_s=spec.processing_delay_s,
+            duration_s=spec.duration_s,
+            seed=spec.seed,
+            env=env,
+            victim=user,
+        )
+    return simulate_replay_attack_session(
+        duration_s=spec.duration_s, seed=spec.seed, env=env, victim=user
+    )
+
+
+def simulate_session_batch(
+    specs: Sequence[SessionSpec],
+    env: Environment | None = None,
+    user: UserProfile | None = None,
+    engine: "ExecutionEngine | None" = None,
+) -> list[SessionRecord]:
+    """Simulate many sessions, optionally fanned out over an engine.
+
+    The engine path routes through :meth:`ExecutionEngine.map_batches`
+    — the shared chunked-submission helper — so session simulation,
+    the experiment sweeps, and the fault matrix all use one submission
+    policy.  Results come back in spec order regardless of worker count.
+    """
+    payloads = [(spec, env, user) for spec in specs]
+    if engine is None:
+        return [_session_task(payload) for payload in payloads]
+    return engine.map_batches(_session_task, payloads, stage="simulate")
 
 
 def simulate_replay_attack_session(

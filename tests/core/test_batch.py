@@ -1,0 +1,107 @@
+"""Unit tests for the structure-of-arrays batch container and kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    ClipBatch,
+    dtw_distance_batch,
+    find_peaks_batch,
+    group_by_length,
+    moving_rms_batch,
+    moving_variance_batch,
+    reflect_convolve_batch,
+    threshold_filter_batch,
+)
+
+
+class TestClipBatch:
+    def test_from_signals_pads_and_masks(self):
+        batch = ClipBatch.from_signals([[1.0, 2.0, 3.0], [4.0], []])
+        assert batch.data.shape == (3, 3)
+        assert batch.lengths.tolist() == [3, 1, 0]
+        assert batch.max_length == 3
+        assert len(batch) == 3
+        # Padding beyond each clip is set to literal zero.
+        assert batch.data[1, 1] == 0.0  # reprolint: disable=R004
+
+    def test_row_returns_trimmed_view(self):
+        batch = ClipBatch.from_signals([[1.0, 2.0], [3.0]])
+        assert np.array_equal(batch.row(0), [1.0, 2.0])
+        assert np.array_equal(batch.row(1), [3.0])
+        rows = batch.rows()
+        assert [r.size for r in rows] == [2, 1]
+
+    def test_empty_batch(self):
+        batch = ClipBatch.from_signals([])
+        assert len(batch) == 0
+        assert batch.max_length == 0
+        assert batch.rows() == []
+
+    def test_rejects_multidimensional_signal(self):
+        with pytest.raises(ValueError):
+            ClipBatch.from_signals([np.zeros((2, 2))])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            ClipBatch(data=np.zeros((2, 3)), lengths=np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            ClipBatch(data=np.zeros((2, 3)), lengths=np.array([1, 4]))
+        with pytest.raises(ValueError):
+            ClipBatch(data=np.zeros(3), lengths=np.array([3]))
+
+    def test_group_by_length_orders_ascending(self):
+        groups = group_by_length(np.array([5, 2, 5, 0, 2]))
+        assert [(length, idx.tolist()) for length, idx in groups] == [
+            (0, [3]),
+            (2, [1, 4]),
+            (5, [0, 2]),
+        ]
+
+
+class TestKernelValidation:
+    def test_reflect_convolve_rejects_bad_inputs(self):
+        rows = np.zeros((1, 4))
+        with pytest.raises(ValueError):
+            reflect_convolve_batch(np.zeros(4), np.ones(3))  # not 2-D
+        with pytest.raises(ValueError):
+            reflect_convolve_batch(rows, np.ones((2, 2)))  # kernel not 1-D
+        with pytest.raises(ValueError):
+            reflect_convolve_batch(rows, np.array([]))  # empty kernel
+
+    def test_moving_windows_reject_nonpositive(self):
+        rows = np.zeros((1, 4))
+        with pytest.raises(ValueError):
+            moving_variance_batch(rows, 0)
+        with pytest.raises(ValueError):
+            moving_rms_batch(rows, 0)
+
+    def test_threshold_filter_batch_requires_2d(self):
+        with pytest.raises(ValueError):
+            threshold_filter_batch(np.zeros(4), 1.0)
+
+    def test_zero_length_rows_pass_through(self):
+        rows = np.zeros((2, 0))
+        assert reflect_convolve_batch(rows, np.ones(3) / 3).shape == (2, 0)
+        assert moving_variance_batch(rows, 4).shape == (2, 0)
+        assert moving_rms_batch(rows, 4).shape == (2, 0)
+        assert threshold_filter_batch(rows, 0.5).shape == (2, 0)
+        assert find_peaks_batch(rows, 0.1) == [[], []]
+
+
+class TestDtwDistanceBatch:
+    def test_known_distances(self):
+        xs = [np.array([0.0, 1.0, 2.0]), np.array([1.0, 1.0])]
+        ys = [np.array([0.0, 1.0, 2.0]), np.array([3.0])]
+        assert dtw_distance_batch(xs, ys).tolist() == [0.0, 4.0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dtw_distance_batch([np.array([1.0])], [])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            dtw_distance_batch([np.zeros((2, 2))], [np.array([1.0])])
+
+    def test_empty_batch(self):
+        assert dtw_distance_batch([], []).size == 0

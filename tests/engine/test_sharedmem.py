@@ -1,0 +1,148 @@
+"""Shared-memory transport tests: pack layout, worker-side extraction,
+pool==serial identity at jobs in {1, 2, 4}, and the zero-work edges."""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import LivenessDetector, verify_clips
+from repro.core.features import extract_features_batch
+from repro.engine import ExecutionEngine
+from repro.engine.engine import _chunk_bounds
+from repro.engine.sharedmem import SignalPack, extract_pack_chunk
+from repro.obs import Instrumentation, render_json
+
+
+def _make_pairs(count, seed=7):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(count):
+        length = int(rng.integers(40, 160))
+        t_lum = rng.uniform(80.0, 140.0, length)
+        r_lum = rng.uniform(0.2, 0.9, length)
+        pairs.append((t_lum, r_lum))
+    return pairs
+
+
+class TestSignalPack:
+    def test_layout_round_trips_signal_bytes(self):
+        pairs = _make_pairs(3)
+        with SignalPack(pairs) as pack:
+            handle = pack.handle
+            assert handle.pair_count == 3
+            assert handle.lengths.size == 6
+            assert handle.total == int(handle.lengths.sum())
+            shm = shared_memory.SharedMemory(name=handle.name)
+            try:
+                flat = np.ndarray((handle.total,), dtype=np.float64, buffer=shm.buf)
+                for i, (t_lum, r_lum) in enumerate(pairs):
+                    t_off = int(handle.offsets[2 * i])
+                    r_off = int(handle.offsets[2 * i + 1])
+                    assert np.array_equal(flat[t_off : t_off + t_lum.size], t_lum)
+                    assert np.array_equal(flat[r_off : r_off + r_lum.size], r_lum)
+            finally:
+                flat = None
+                shm.close()
+
+    def test_refuses_empty_segment(self):
+        with pytest.raises(ValueError):
+            SignalPack([])
+        with pytest.raises(ValueError):
+            SignalPack([(np.array([]), np.array([]))])
+
+    def test_segment_is_unlinked_on_exit(self):
+        with SignalPack(_make_pairs(1)) as pack:
+            name = pack.handle.name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestExtractPackChunk:
+    def test_matches_in_process_batch_core(self):
+        pairs = _make_pairs(5)
+        config = DetectorConfig()
+        want = [ex.features for ex in extract_features_batch(pairs, config)]
+        with SignalPack(pairs) as pack:
+            got = extract_pack_chunk((pack.handle, 0, len(pairs), config))
+        assert got == want
+
+    def test_chunks_partition_the_batch(self):
+        pairs = _make_pairs(5)
+        config = DetectorConfig()
+        want = [ex.features for ex in extract_features_batch(pairs, config)]
+        with SignalPack(pairs) as pack:
+            got = []
+            for lo, hi in _chunk_bounds(len(pairs), 3):
+                got.extend(extract_pack_chunk((pack.handle, lo, hi, config)))
+        assert got == want
+
+
+class TestPoolSerialIdentity:
+    def test_features_identical_at_jobs_1_2_4(self):
+        pairs = _make_pairs(6)
+        config = DetectorConfig()
+        serial = [ex.features for ex in extract_features_batch(pairs, config)]
+        for jobs in (1, 2, 4):
+            with ExecutionEngine(jobs=jobs) as engine:
+                assert engine.extract_features_batch(pairs, config) == serial, jobs
+
+    def test_verdicts_and_metrics_identical_at_jobs_1_2_4(self):
+        config = DetectorConfig()
+        bank_pairs = _make_pairs(8, seed=3)
+        probe_pairs = _make_pairs(5, seed=4)
+
+        def _run(jobs):
+            instr = Instrumentation.enabled()
+            detector = LivenessDetector(config, instrumentation=instr)
+            detector.fit_from_clips(bank_pairs)
+            with ExecutionEngine(jobs=jobs) as engine:
+                results = verify_clips(probe_pairs, detector, engine=engine)
+            return results, render_json(instr.snapshot())
+
+        base_results, base_metrics = _run(1)
+        for jobs in (2, 4):
+            results, metrics = _run(jobs)
+            assert metrics == base_metrics, jobs
+            for got, want in zip(results, base_results):
+                assert got.features == want.features
+                assert got.lof_score == want.lof_score
+                assert got.accepted == want.accepted
+
+
+class TestZeroWorkEdges:
+    def test_empty_map_batches_emits_nothing(self):
+        with ExecutionEngine(jobs=4) as engine:
+            assert engine.map_batches(len, [], stage="probe") == []
+            snap = engine.instrumentation.snapshot()
+            assert snap.counter_value("engine_stage_calls_total", stage="probe") == 0
+            assert not engine.perf_report().stages
+
+    def test_empty_extract_batch_emits_nothing(self):
+        with ExecutionEngine(jobs=4) as engine:
+            assert engine.extract_features_batch([], DetectorConfig()) == []
+            assert not engine.perf_report().stages
+
+    def test_fewer_clips_than_jobs_never_yields_empty_chunks(self):
+        for count in (1, 2, 3):
+            for jobs in (4, 8):
+                bounds = _chunk_bounds(count, min(jobs, count))
+                assert all(hi > lo for lo, hi in bounds)
+                assert bounds[0][0] == 0 and bounds[-1][1] == count
+
+    def test_fewer_clips_than_jobs_extracts_correctly(self):
+        pairs = _make_pairs(2)
+        config = DetectorConfig()
+        serial = [ex.features for ex in extract_features_batch(pairs, config)]
+        with ExecutionEngine(jobs=4) as engine:
+            assert engine.extract_features_batch(pairs, config) == serial
+
+    def test_zero_sample_pairs_stay_in_process(self):
+        # All-empty signals would make an empty shared segment; the engine
+        # must route them through the in-process batch core instead.
+        pairs = [(np.array([]), np.array([])), (np.array([]), np.array([]))]
+        config = DetectorConfig()
+        serial = [ex.features for ex in extract_features_batch(pairs, config)]
+        with ExecutionEngine(jobs=4) as engine:
+            assert engine.extract_features_batch(pairs, config) == serial
