@@ -24,7 +24,14 @@ import lives here, re-exported from the subsystem that owns it:
 * observability — :class:`Instrumentation` (the handle every
   instrumented constructor accepts), the metrics registry and its
   mergeable snapshots, span tracing with the ``repro-trace-v1`` JSONL
-  schema, and the Prometheus/JSON exporters.
+  schema, and the Prometheus/JSON exporters;
+* the serving layer — :class:`VerificationServer` (admission control,
+  per-tenant model banks, bounded per-session queues, deadlines) with
+  :class:`ServerConfig`/:class:`SessionOutcome`, the two time regimes
+  (:class:`VirtualScheduler` deterministic, :class:`RealTimeScheduler`
+  wall clock), the open-loop workload generator
+  (:class:`WorkloadConfig`, :func:`run_workload`,
+  :func:`make_tenant_bank_provider`) and :func:`build_slo_report`.
 
 Importing from submodule paths keeps working, but only the names listed
 here are covered by the compatibility promise.
@@ -71,6 +78,18 @@ from .obs import (
     render_json,
     render_prometheus,
 )
+from .service import (
+    RealTimeScheduler,
+    SLOReport,
+    ServerConfig,
+    SessionOutcome,
+    VerificationServer,
+    VirtualScheduler,
+    WorkloadConfig,
+    build_slo_report,
+    make_tenant_bank_provider,
+    run_workload,
+)
 
 __all__ = [
     "AttemptVerdict",
@@ -97,19 +116,29 @@ __all__ = [
     "PAPER_CONFIG",
     "PIPELINE_STAGES",
     "PerfReport",
+    "RealTimeScheduler",
+    "SLOReport",
+    "ServerConfig",
+    "SessionOutcome",
     "StreamingState",
     "StreamingVerifier",
     "TRACE_SCHEMA",
     "Tracer",
     "Verdict",
     "VerificationReport",
+    "VerificationServer",
+    "VirtualScheduler",
     "VotingCombiner",
+    "WorkloadConfig",
+    "build_slo_report",
     "extract_features",
     "extract_features_batch",
+    "make_tenant_bank_provider",
     "read_trace",
     "render_json",
     "render_prometheus",
     "run_fault_matrix",
+    "run_workload",
     "simulate_adaptive_attack_session",
     "simulate_attack_session",
     "simulate_faulted_session",

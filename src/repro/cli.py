@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands mirroring the library's main uses::
+Ten subcommands mirroring the library's main uses::
 
     python -m repro demo                 # quick genuine-vs-attacker demo
     python -m repro verify --role attack # simulate + verify one session
@@ -8,6 +8,8 @@ Eight subcommands mirroring the library's main uses::
     python -m repro trace t.jsonl        # per-stage latency percentiles
     python -m repro figures --only fig11 # regenerate paper figures
     python -m repro faults --jobs 2      # fault-severity robustness matrix
+    python -m repro serve --sessions 8   # multi-tenant verification service
+    python -m repro loadtest --json b.json  # deterministic open-loop load test
     python -m repro lint --format json   # reprolint static analysis
     python -m repro info                 # configuration + paper constants
 
@@ -284,6 +286,20 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a demo workload through the multi-tenant verification service."""
+    from .service.cli import run_serve
+
+    return run_serve(args)
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop load test of the service (deterministic virtual time)."""
+    from .service.cli import run_loadtest
+
+    return run_loadtest(args)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static determinism/contract analysis (reprolint) over the tree."""
     from .analysis.cli import run_lint
@@ -444,6 +460,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the engine's PerfReport (incl. quality-gate counters)",
     )
     faults.set_defaults(func=cmd_faults)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a demo workload through the multi-tenant verification "
+        "service (virtual time by default; --realtime for the wall clock)",
+    )
+    from .service.cli import add_loadtest_arguments, add_serve_arguments
+
+    add_serve_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="deterministic open-loop load test: hundreds of concurrent "
+        "sessions under virtual time, with a serial byte-identity check",
+    )
+    add_loadtest_arguments(loadtest)
+    loadtest.set_defaults(func=cmd_loadtest)
 
     lint = sub.add_parser(
         "lint",

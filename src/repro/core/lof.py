@@ -15,9 +15,22 @@ users plus one new data from the untrusted user".
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-__all__ = ["LocalOutlierFactor"]
+__all__ = ["LocalOutlierFactor", "SmallBankWarning"]
+
+
+class SmallBankWarning(UserWarning):
+    """The training bank is too small for the requested ``n_neighbors``.
+
+    Raised (as a warning) when ``fit`` receives fewer than
+    ``n_neighbors + 1`` points and silently-degrading ``k`` would hide a
+    real operational problem: LRU-evicted tenant banks that refit from a
+    handful of samples score with a much coarser density estimate than
+    the paper's k=5 — acceptable as a degraded mode, but never silently.
+    """
 
 
 class LocalOutlierFactor:
@@ -27,13 +40,19 @@ class LocalOutlierFactor:
     ----------
     n_neighbors:
         ``k`` of the model (paper: 5).  Capped at ``n_train - 1`` when
-        the bank is small.
+        the bank is small; the cap emits :class:`SmallBankWarning` (or
+        raises ``ValueError`` with ``strict_neighbors=True``) so a
+        degraded per-tenant model is always an explicit event.
+    strict_neighbors:
+        When true, a bank smaller than ``n_neighbors + 1`` is an error
+        instead of a clamp-and-warn.
     """
 
-    def __init__(self, n_neighbors: int = 5) -> None:
+    def __init__(self, n_neighbors: int = 5, strict_neighbors: bool = False) -> None:
         if n_neighbors < 1:
             raise ValueError("n_neighbors must be >= 1")
         self.n_neighbors = n_neighbors
+        self.strict_neighbors = strict_neighbors
         self._train: np.ndarray | None = None
         self._train_k_distance: np.ndarray | None = None
         self._train_lrd: np.ndarray | None = None
@@ -42,6 +61,12 @@ class LocalOutlierFactor:
     @property
     def is_fitted(self) -> bool:
         return self._train is not None
+
+    @property
+    def effective_neighbors(self) -> int:
+        """The ``k`` actually in use (may be below ``n_neighbors`` after
+        fitting on a small bank)."""
+        return self._effective_k
 
     @property
     def train_size(self) -> int:
@@ -59,6 +84,20 @@ class LocalOutlierFactor:
             raise ValueError("need at least 2 training points")
         if not np.all(np.isfinite(X)):
             raise ValueError("training data must be finite")
+        if n - 1 < self.n_neighbors:
+            if self.strict_neighbors:
+                raise ValueError(
+                    f"bank of {n} points cannot support n_neighbors="
+                    f"{self.n_neighbors} (needs >= {self.n_neighbors + 1}); "
+                    "pass a larger bank or lower n_neighbors"
+                )
+            warnings.warn(
+                f"training bank of {n} points supports at most k={n - 1} "
+                f"neighbors; clamping n_neighbors from {self.n_neighbors} "
+                "— density estimates will be coarser than configured",
+                SmallBankWarning,
+                stacklevel=2,
+            )
         self._train = X.copy()
         self._effective_k = min(self.n_neighbors, n - 1)
         k = self._effective_k

@@ -443,7 +443,16 @@ class StreamingVerifier:
         return tuple(self._attempts)
 
     def reset(self) -> None:
-        """Forget all evidence (a new call with the same enrollment)."""
+        """Forget all evidence (a new call with the same enrollment).
+
+        A recycled verifier must be *bit-identical* to a fresh one — the
+        service layer pools verifiers across sessions, and any state that
+        leaks through a reset would make a session's verdict depend on
+        which pooled instance served it.  That covers the obvious sample
+        buffers and quality counters, but also the landmark detector's
+        jitter RNG, which advances on every detection and would otherwise
+        replay a different jitter sequence on the next call.
+        """
         self._t_samples.clear()
         self._r_samples.clear()
         self._stale_flags.clear()
@@ -453,3 +462,4 @@ class StreamingVerifier:
         self._clip_frozen = 0
         self._attempts.clear()
         self._alerted = False
+        self.landmark_detector.reset()

@@ -28,7 +28,8 @@ class PlayoutStats:
     played: int = 0
     lost_frames: int = 0
     skipped_frames: int = 0  # complete but superseded by a newer frame
-    late_packets: int = 0
+    late_packets: int = 0  # packets for frames already flushed
+    duplicate_packets: int = 0  # retransmits of chunks already held
 
 
 @dataclasses.dataclass
@@ -39,8 +40,10 @@ class _PendingFrame:
     chunk_arrivals: dict[int, float] = dataclasses.field(default_factory=dict)
 
     def complete_at(self, now: float) -> bool:
-        """All chunks present and physically arrived by ``now``."""
-        if len(self.chunk_arrivals) < self.chunks_needed:
+        """Every required chunk index present and physically arrived by
+        ``now``.  Counting ``len(chunk_arrivals)`` would let a duplicate
+        or corrupt chunk index stand in for a missing one."""
+        if any(i not in self.chunk_arrivals for i in range(self.chunks_needed)):
             return False
         return max(self.chunk_arrivals.values()) <= now
 
@@ -70,6 +73,17 @@ class JitterBuffer:
                 playout_time=packet.send_time + self.playout_delay_s,
             )
             self._pending[packet.frame_id] = pending
+        held = pending.chunk_arrivals.get(packet.chunk_index)
+        if held is not None:
+            # Duplicate sequence number (retransmit or path duplication):
+            # keep the *earliest* arrival — the frame was decodable from
+            # the first copy, so a late duplicate must not push the frame
+            # past its deadline — and account it separately from late
+            # packets so neither metric double-counts.
+            self.stats.duplicate_packets += 1
+            if delivered.arrival_time < held:
+                pending.chunk_arrivals[packet.chunk_index] = delivered.arrival_time
+            return
         pending.chunk_arrivals[packet.chunk_index] = delivered.arrival_time
 
     def playout(self, now: float) -> EncodedFrame | None:

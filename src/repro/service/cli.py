@@ -1,0 +1,210 @@
+"""`repro serve` / `repro loadtest` command implementations.
+
+Kept out of :mod:`repro.cli` so the top-level module stays a thin
+argparse shell (the same split as ``obs.trace_cli`` and
+``analysis.cli``).
+
+``serve`` runs a small demonstration workload through the full service
+stack and prints the SLO report — instantly in the default deterministic
+virtual-time mode, or against the wall clock with ``--realtime`` (real
+seconds: frames are paced at 10 Hz).
+
+``loadtest`` is the scale/determinism harness: an open-loop workload at
+hundreds of concurrent sessions under virtual time, optionally replayed
+serially to check byte-identity of outcomes and merged metrics, with a
+JSON artifact for benchmark gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from ..obs.instrument import Instrumentation
+from .loadgen import WorkloadConfig, make_tenant_bank_provider, run_workload
+from .realtime import RealTimeScheduler
+from .scheduler import Scheduler, VirtualScheduler
+from .server import ServerConfig, VerificationServer
+from .slo import build_slo_report
+
+__all__ = [
+    "add_loadtest_arguments",
+    "add_serve_arguments",
+    "run_loadtest",
+    "run_serve",
+]
+
+
+def _build_stack(
+    workload: WorkloadConfig, server_config: ServerConfig, scheduler: Scheduler
+):
+    instr = Instrumentation.enabled(
+        clock=scheduler.clock if isinstance(scheduler, VirtualScheduler) else None
+    )
+    server = VerificationServer(
+        scheduler,
+        make_tenant_bank_provider(workload, server_config.detector),
+        server_config,
+        instrumentation=instr,
+    )
+    return server, instr
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-sessions", type=int, default=16, help="concurrent session slots"
+    )
+    parser.add_argument(
+        "--attack-fraction", type=float, default=0.3, help="attacker session share"
+    )
+    parser.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of sessions riding a fault schedule",
+    )
+    parser.add_argument(
+        "--realtime",
+        action="store_true",
+        help="run against the wall clock (frames paced at 10 Hz, i.e. "
+        "real seconds) instead of deterministic virtual time",
+    )
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Serve a demonstration workload and print its SLO report."""
+    workload = WorkloadConfig(
+        sessions=args.sessions,
+        tenants=args.tenants,
+        arrival_rate_hz=2.0,
+        attack_fraction=args.attack_fraction,
+        chaos_fraction=args.chaos,
+        seed=args.seed,
+    )
+    scheduler: Scheduler = (
+        RealTimeScheduler() if args.realtime else VirtualScheduler()
+    )
+    server, instr = _build_stack(
+        workload, ServerConfig(max_sessions=args.max_sessions), scheduler
+    )
+    mode = "realtime" if args.realtime else "virtual"
+    print(
+        f"serving {workload.sessions} sessions / {workload.tenants} tenants "
+        f"({mode} clock) ..."
+    )
+    result = run_workload(scheduler, server, workload)
+    for outcome in result.outcomes:
+        print(
+            f"  {outcome.session_id} tenant={outcome.tenant_id} "
+            f"status={outcome.status.value:>12s} reason={outcome.reason:>9s} "
+            f"frames={outcome.frames:>4d} latency={outcome.duration_s:6.1f}s"
+        )
+    print()
+    print(build_slo_report(instr.snapshot(), server.peak_active, server.peak_queued))
+    return 0
+
+
+def add_loadtest_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sessions", type=int, default=220)
+    parser.add_argument("--tenants", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument(
+        "--arrival-rate", type=float, default=22.0, help="Poisson arrivals per second"
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=256, help="concurrent session slots"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16, help="admission queue depth"
+    )
+    parser.add_argument(
+        "--chaos",
+        type=float,
+        default=0.2,
+        metavar="FRACTION",
+        help="fraction of sessions riding a fault schedule",
+    )
+    parser.add_argument(
+        "--no-serial-check",
+        action="store_true",
+        help="skip the serial replay (and its byte-identity assertion)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable result (bench-service-v1) here",
+    )
+
+
+def _run_one(workload: WorkloadConfig, server_config: ServerConfig, serial: bool):
+    scheduler = VirtualScheduler()
+    server, instr = _build_stack(workload, server_config, scheduler)
+    result = run_workload(scheduler, server, workload, serial=serial)
+    return result, instr.snapshot(), server
+
+
+def run_loadtest(args: argparse.Namespace) -> int:
+    """Deterministic open-loop load test; exit 1 on identity failure."""
+    workload = WorkloadConfig(
+        sessions=args.sessions,
+        tenants=args.tenants,
+        arrival_rate_hz=args.arrival_rate,
+        chaos_fraction=args.chaos,
+        abandon_fraction=0.05,
+        burst_fraction=0.05,
+        small_tenant_fraction=0.2,
+        seed=args.seed,
+    )
+    server_config = ServerConfig(
+        max_sessions=args.max_sessions,
+        admission_queue_depth=args.queue_depth,
+    )
+    print(
+        f"loadtest: {workload.sessions} sessions / {workload.tenants} tenants, "
+        f"open-loop at {workload.arrival_rate_hz:g}/s (virtual time) ..."
+    )
+    result, snapshot, server = _run_one(workload, server_config, serial=False)
+    report = build_slo_report(snapshot, server.peak_active, server.peak_queued)
+    print(report)
+    identical = None
+    if not args.no_serial_check:
+        print("serial replay for the byte-identity check ...")
+        serial_result, serial_snapshot, _ = _run_one(
+            workload, server_config, serial=True
+        )
+        identical = (
+            result.outcomes == serial_result.outcomes and snapshot == serial_snapshot
+        )
+        print(
+            "concurrent == serial:",
+            "IDENTICAL (outcomes and merged metrics)" if identical else "MISMATCH",
+        )
+    if args.json:
+        payload = {
+            "schema": "bench-service-v1",
+            "sessions": workload.sessions,
+            "tenants": workload.tenants,
+            "peak_concurrent_sessions": server.peak_active,
+            "admitted": report.admitted,
+            "rejected": report.rejected,
+            "admission_rate": round(report.admission_rate, 4),
+            "p50_verdict_latency_s": round(report.p50_latency_s, 3),
+            "p99_verdict_latency_s": round(report.p99_latency_s, 3),
+            "frames_processed": report.frames_processed,
+            "frames_dropped": report.frames_dropped,
+            "status_counts": report.status_counts,
+            "end_reasons": report.end_reasons,
+            "tenant_cache": report.tenant_cache,
+            "task_failures": report.task_failures,
+            "serial_identity": identical,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"result written to {args.json}")
+    return 1 if identical is False else 0

@@ -1,0 +1,407 @@
+"""Open-loop workload generator for the verification service.
+
+Synthesizes a fleet of tenants and a stream of verification sessions —
+Poisson arrivals, heavy-tailed call lengths, a zipf-skewed tenant mix,
+genuine and attack roles, and optional per-session chaos drawn from a
+:class:`~repro.faults.FaultSpec` — and drives them through a
+:class:`~repro.service.server.VerificationServer`.
+
+Open-loop means arrivals do not wait for completions: the generator
+submits on its own clock and lets admission control and backpressure do
+their jobs, which is the only way a load test can actually reveal them
+(a closed loop self-throttles and never fills the queue).
+
+Frames are synthesized at the *signal* level and lifted to pixels only
+at push time: the transmitted frame is a flat gray raster (its mean
+luminance IS the signal value), and the received frame is a uniform
+skin-toned patch whose brightness is scaled so the nasal-bridge ROI
+reads the intended reflected luminance.  The patch passes the landmark
+detector's skin segmentation, so the whole vision path runs for real —
+detection, ROI extraction, jitter RNG — at a tiny per-frame cost.
+
+Everything is a pure function of ``WorkloadConfig.seed``: scripts are
+precomputed arrays, chaos rides seeded :class:`FaultSchedule` arrays,
+and under a :class:`~repro.service.scheduler.VirtualScheduler` the run
+is bit-reproducible — including against its own serial replay
+(:func:`run_workload` with ``serial=True``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.features import extract_features_batch
+from ..core.seeding import spawn_seeds
+from ..faults import FaultSpec
+from ..video.frame import Frame
+from ..video.luminance import BT709_WEIGHTS
+from .queues import FrameQueue  # noqa: F401  (re-exported for tests)
+from .scheduler import Scheduler
+from .server import SessionOutcome, VerificationServer
+
+__all__ = [
+    "SessionScript",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "build_scripts",
+    "make_tenant_bank_provider",
+    "run_workload",
+]
+
+#: Skin-tone unit color (red-dominant, blue-poor): passes the landmark
+#: detector's chromaticity gate (r-chrom 0.44 > 0.355, b-chrom 0.20 <
+#: 0.32) at any brightness scale.
+_SKIN_COLOR = np.array([0.55, 0.45, 0.25])
+#: BT.709 luminance of the unit skin color; a patch of ``_SKIN_COLOR*c``
+#: reads luminance ``c * _SKIN_LUMA``.
+_SKIN_LUMA = float(BT709_WEIGHTS @ _SKIN_COLOR)
+
+_TICKS_PER_CLIP = 150  # 15 s at 10 Hz (DetectorConfig defaults)
+_TICK_S = 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadConfig:
+    """One load-test scenario (everything derives from ``seed``)."""
+
+    sessions: int = 240
+    tenants: int = 12
+    arrival_rate_hz: float = 12.0  # Poisson arrival intensity
+    mean_extra_clips: float = 0.5  # heavy tail beyond the first clip
+    max_clips: int = 4
+    attack_fraction: float = 0.3
+    chaos_fraction: float = 0.0  # sessions with a fault schedule
+    chaos_severity: float = 1.0
+    abandon_fraction: float = 0.0  # feeds that die mid-call (stall path)
+    burst_fraction: float = 0.0  # clients that dump frames all at once
+    small_tenant_fraction: float = 0.0  # tenants with an undersized bank
+    enroll_clips: int = 8
+    small_enroll_clips: int = 4  # < lof_neighbors + 1: exercises the clamp
+    frame_height: int = 24
+    frame_width: int = 24
+    seed: int = 20260808
+    fault_spec: FaultSpec = dataclasses.field(
+        default_factory=lambda: FaultSpec(
+            loss_burst_rate=0.15,
+            mean_burst_s=0.8,
+            jitter_spike_rate=0.2,
+            jitter_spike_s=0.1,
+            landmark_dropout_rate=0.25,
+            mean_dropout_s=1.0,
+            freeze_rate=0.1,
+            mean_freeze_s=0.5,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1 or self.tenants < 1:
+            raise ValueError("sessions and tenants must be >= 1")
+        if self.arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionScript:
+    """Precomputed plan of one session (arrays, not frames)."""
+
+    session_id: str
+    tenant_id: str
+    role: str  # "genuine" | "attack"
+    arrival_offset_s: float  # from workload start (open-loop clock)
+    clips: int
+    transmitted: np.ndarray  # luminance per tick
+    received: np.ndarray  # target ROI luminance per tick
+    dropout: np.ndarray  # bool per tick: faceless received frame
+    freeze: np.ndarray  # bool per tick: stale repeat of the last frame
+    extra_delay_s: np.ndarray  # jitter: added before pushing this tick
+    abandon_after: int | None  # feed dies after this many ticks (no EOS)
+    burst: bool  # dump all frames without pacing
+
+    @property
+    def ticks(self) -> int:
+        return int(self.transmitted.size)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadResult:
+    """What one workload run produced."""
+
+    outcomes: tuple[SessionOutcome, ...]
+    rejected: int
+    duration_s: float
+
+    @property
+    def submitted(self) -> int:
+        return len(self.outcomes) + self.rejected
+
+
+# ----------------------------------------------------------------------
+# Script synthesis
+# ----------------------------------------------------------------------
+
+
+def _genuine_signals(
+    rng: np.random.Generator, clips: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-clip two-step challenges with a delayed, attenuated response."""
+    t_parts, r_parts = [], []
+    delay = int(rng.integers(2, 6))  # 0.2-0.5 s screen-to-face lag
+    for _ in range(clips):
+        t = np.full(_TICKS_PER_CLIP, 180.0)
+        i1 = int(rng.integers(25, 55))
+        i2 = int(rng.integers(85, 120))
+        t[i1:] -= 50.0
+        t[i2:] += 50.0
+        delayed = np.concatenate([np.full(delay, t[0]), t[:-delay]])
+        r = 120.0 + 0.3 * delayed + rng.normal(0.0, 0.4, _TICKS_PER_CLIP)
+        t_parts.append(t)
+        r_parts.append(r)
+    return np.concatenate(t_parts), np.concatenate(r_parts)
+
+
+def _attack_signals(
+    rng: np.random.Generator, clips: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Challenges go out, but the reenacted face never echoes them."""
+    t_parts = []
+    for _ in range(clips):
+        t = np.full(_TICKS_PER_CLIP, 180.0)
+        i1 = int(rng.integers(25, 55))
+        i2 = int(rng.integers(85, 120))
+        t[i1:] -= 50.0
+        t[i2:] += 50.0
+        t_parts.append(t)
+    n = clips * _TICKS_PER_CLIP
+    return np.concatenate(t_parts), 120.0 + rng.normal(0.0, 2.0, n)
+
+
+def build_scripts(config: WorkloadConfig) -> list[SessionScript]:
+    """The full deterministic session list of one workload."""
+    rng = np.random.default_rng([config.seed, 0x10AD])
+    # Zipf-skewed tenant popularity (tenant 0 hottest).
+    weights = 1.0 / np.arange(1, config.tenants + 1)
+    weights /= weights.sum()
+    arrival = 0.0
+    scripts: list[SessionScript] = []
+    session_seeds = spawn_seeds(config.seed, config.sessions)
+    for i in range(config.sessions):
+        arrival += float(rng.exponential(1.0 / config.arrival_rate_hz))
+        tenant = int(rng.choice(config.tenants, p=weights))
+        role = "attack" if rng.random() < config.attack_fraction else "genuine"
+        clips = 1 + min(
+            int(rng.exponential(config.mean_extra_clips)), config.max_clips - 1
+        )
+        chaotic = rng.random() < config.chaos_fraction
+        abandons = rng.random() < config.abandon_fraction
+        burst = rng.random() < config.burst_fraction
+        s_rng = np.random.default_rng(session_seeds[i])
+        if role == "genuine":
+            t_sig, r_sig = _genuine_signals(s_rng, clips)
+        else:
+            t_sig, r_sig = _attack_signals(s_rng, clips)
+        ticks = t_sig.size
+        if chaotic:
+            schedule = config.fault_spec.scaled(config.chaos_severity).schedule(
+                ticks * _TICK_S, 1.0 / _TICK_S, seed=session_seeds[i]
+            )
+            dropout = schedule.landmark_dropout[:ticks].copy()
+            freeze = (schedule.freeze | schedule.loss_burst)[:ticks].copy()
+            extra_delay = schedule.jitter_extra_s[:ticks].copy()
+        else:
+            dropout = np.zeros(ticks, dtype=bool)
+            freeze = np.zeros(ticks, dtype=bool)
+            extra_delay = np.zeros(ticks)
+        abandon_after = None
+        if abandons:
+            # Die somewhere inside the first clip: the session never
+            # completes an attempt and must resolve via the stall path.
+            abandon_after = int(s_rng.integers(30, _TICKS_PER_CLIP - 10))
+        scripts.append(
+            SessionScript(
+                session_id=f"load-{i:05d}",
+                tenant_id=f"tenant-{tenant:03d}",
+                role=role,
+                arrival_offset_s=arrival,
+                clips=clips,
+                transmitted=t_sig,
+                received=r_sig,
+                dropout=dropout,
+                freeze=freeze,
+                extra_delay_s=extra_delay,
+                abandon_after=abandon_after,
+                burst=burst,
+            )
+        )
+    return scripts
+
+
+# ----------------------------------------------------------------------
+# Enrollment banks
+# ----------------------------------------------------------------------
+
+
+def make_tenant_bank_provider(config: WorkloadConfig, detector: DetectorConfig | None = None):
+    """``tenant_id -> feature bank`` callable for the server's cache.
+
+    Banks are built lazily (first session of a tenant pays the fit, like
+    a real enrollment store) from clean genuine signal pairs under the
+    tenant's own seed.  The last ``small_tenant_fraction`` of tenants get
+    an undersized bank, driving the LOF small-bank clamp (and its
+    :class:`~repro.core.lof.SmallBankWarning`) through the service path.
+    """
+    detector = detector or DetectorConfig()
+    small_cutoff = config.tenants - int(
+        round(config.tenants * config.small_tenant_fraction)
+    )
+    bank_seeds = spawn_seeds(config.seed + 1, config.tenants)
+
+    def provider(tenant_id: str):
+        index = int(tenant_id.rsplit("-", 1)[1])
+        clips = (
+            config.enroll_clips if index < small_cutoff else config.small_enroll_clips
+        )
+        rng = np.random.default_rng(bank_seeds[index])
+        pairs = [_genuine_signals(rng, 1) for _ in range(clips)]
+        return [fx.features for fx in extract_features_batch(pairs, detector)]
+
+    return provider
+
+
+# ----------------------------------------------------------------------
+# Frame synthesis (script -> pixels, one tick at a time)
+# ----------------------------------------------------------------------
+
+
+def _transmitted_frame(config: WorkloadConfig, value: float, t: float) -> Frame:
+    pixels = np.full(
+        (config.frame_height, config.frame_width, 3), float(value), dtype=np.float64
+    )
+    return Frame(pixels=pixels, timestamp=t)
+
+
+def _face_frame(config: WorkloadConfig, luminance: float, t: float) -> Frame:
+    """Uniform skin patch whose ROI luminance reads ``luminance``."""
+    h, w = config.frame_height, config.frame_width
+    pixels = np.zeros((h, w, 3), dtype=np.float64)
+    scale = max(luminance, 1.0) / _SKIN_LUMA
+    # Leave a 2-px black border so the face is a bounded blob, as the
+    # ellipse fit expects.
+    pixels[2 : h - 2, 2 : w - 2] = _SKIN_COLOR * scale
+    return Frame(pixels=pixels, timestamp=t)
+
+
+def _faceless_frame(config: WorkloadConfig, t: float) -> Frame:
+    return Frame(
+        pixels=np.zeros((config.frame_height, config.frame_width, 3)), timestamp=t
+    )
+
+
+async def _feed_session(
+    scheduler: Scheduler,
+    server: VerificationServer,
+    script: SessionScript,
+    config: WorkloadConfig,
+) -> SessionOutcome | None:
+    """Submit one scripted session, pace its frames, await the verdict."""
+    admission = server.submit(script.tenant_id, session_id=script.session_id)
+    if not admission.admitted:
+        return None
+    handle = admission.handle
+    last_face: Frame | None = None
+    for k in range(script.ticks):
+        if script.abandon_after is not None and k >= script.abandon_after:
+            # The client vanished: no EOS, no more frames.  The session
+            # must resolve through its stall timeout, not hang.
+            return await handle.result()
+        if not script.burst:
+            await scheduler.sleep(_TICK_S + float(script.extra_delay_s[k]))
+        t = script.arrival_offset_s + k * _TICK_S
+        transmitted = _transmitted_frame(config, float(script.transmitted[k]), t)
+        if script.freeze[k] and last_face is not None:
+            received = Frame(
+                pixels=last_face.pixels, timestamp=t, metadata={"fresh": False}
+            )
+        elif script.dropout[k]:
+            received = _faceless_frame(config, t)
+        else:
+            received = _face_frame(config, float(script.received[k]), t)
+            last_face = received
+        handle.push_frame(transmitted, received)
+    handle.finish()
+    return await handle.result()
+
+
+# ----------------------------------------------------------------------
+# The open-loop driver
+# ----------------------------------------------------------------------
+
+
+async def _run_open_loop(
+    scheduler: Scheduler,
+    server: VerificationServer,
+    scripts: list[SessionScript],
+    config: WorkloadConfig,
+) -> WorkloadResult:
+    start = scheduler.now()
+    feeders = []
+    for script in scripts:
+        lead = script.arrival_offset_s - (scheduler.now() - start)
+        if lead > 0:
+            await scheduler.sleep(lead)
+        feeders.append(
+            scheduler.spawn(
+                _feed_session(scheduler, server, script, config),
+                name=f"feed:{script.session_id}",
+            )
+        )
+    outcomes, rejected = [], 0
+    for feeder in feeders:
+        outcome = await feeder.join()
+        if outcome is None:
+            rejected += 1
+        else:
+            outcomes.append(outcome)
+    return WorkloadResult(
+        outcomes=tuple(outcomes),
+        rejected=rejected,
+        duration_s=scheduler.now() - start,
+    )
+
+
+async def _run_serial(
+    scheduler: Scheduler,
+    server: VerificationServer,
+    scripts: list[SessionScript],
+    config: WorkloadConfig,
+) -> WorkloadResult:
+    """One session at a time — the identity baseline for the concurrent
+    run: every outcome and every determinism-checked metric must match
+    the open-loop execution byte for byte."""
+    start = scheduler.now()
+    outcomes, rejected = [], 0
+    for script in scripts:
+        outcome = await _feed_session(scheduler, server, script, config)
+        if outcome is None:
+            rejected += 1
+        else:
+            outcomes.append(outcome)
+    return WorkloadResult(
+        outcomes=tuple(outcomes),
+        rejected=rejected,
+        duration_s=scheduler.now() - start,
+    )
+
+
+def run_workload(
+    scheduler: Scheduler,
+    server: VerificationServer,
+    config: WorkloadConfig,
+    serial: bool = False,
+) -> WorkloadResult:
+    """Run the whole workload to completion on ``scheduler``."""
+    scripts = build_scripts(config)
+    runner = _run_serial if serial else _run_open_loop
+    return scheduler.run(runner(scheduler, server, scripts, config))

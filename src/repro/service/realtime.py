@@ -1,0 +1,60 @@
+"""Wall-clock scheduler for live serving.
+
+This module is the service's **only** wall-clock site: it is listed in
+the reprolint ``wall-clock-allowlist`` so R002/R008 keep every other
+service module honest about going through the :class:`Scheduler`
+abstraction.  Everything here is a thin mapping of the scheduler
+primitives onto real asyncio time — no business logic.
+
+Live deployments construct :class:`RealTimeScheduler`; tests, the
+benchmark, and ``repro loadtest`` default to the deterministic
+:class:`~repro.service.scheduler.VirtualScheduler`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Coroutine
+from typing import Any
+
+from .scheduler import TIMEOUT, Scheduler, Waiter
+
+__all__ = ["RealTimeScheduler"]
+
+
+class RealTimeScheduler(Scheduler):
+    """Scheduler regime backed by ``time.monotonic`` and asyncio timers."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, delay: float) -> None:
+        await asyncio.sleep(max(delay, 0.0))
+
+    async def park(self, waiter: Waiter, timeout: float | None = None) -> Any:
+        if timeout is None:
+            return await waiter.fut
+        try:
+            return await asyncio.wait_for(asyncio.shield(waiter.fut), timeout)
+        except asyncio.TimeoutError:
+            if waiter.fut.done():  # resolved in the same tick as expiry
+                return waiter.fut.result()
+            waiter.fut.cancel()
+            return TIMEOUT
+
+    def resolve(self, waiter: Waiter, value: Any) -> bool:
+        # A cancelled future (timed-out park) counts as already fired.
+        if waiter.fut.done() or waiter.fut.cancelled():
+            return False
+        waiter.fut.set_result(value)
+        return True
+
+    def run(self, main: Coroutine, wall_guard_s: float | None = None) -> Any:
+        if wall_guard_s is None:
+            return asyncio.run(main)
+
+        async def _guarded() -> Any:
+            return await asyncio.wait_for(main, wall_guard_s)
+
+        return asyncio.run(_guarded())

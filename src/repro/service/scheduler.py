@@ -1,0 +1,340 @@
+"""Cooperative time source for the verification service.
+
+Everything in :mod:`repro.service` that waits — frame queues, admission
+slots, deadlines, pacing sleeps — waits through a :class:`Scheduler`, so
+one service codebase runs in two very different time regimes:
+
+* :class:`VirtualScheduler` — a deterministic discrete-event mode.  Time
+  is a :class:`~repro.obs.clock.ManualClock` advanced only when *every*
+  registered task is parked on a scheduler primitive; due timers then
+  fire strictly in ``(deadline, registration)`` order.  Two runs of the
+  same workload execute the same event sequence, at any concurrency —
+  the property the ``loadtest`` pool-vs-serial identity check pins down.
+* :class:`~repro.service.realtime.RealTimeScheduler` — plain asyncio
+  against the wall clock, for actually serving live traffic.  It lives
+  in its own module because it is the service's one blessed wall-clock
+  site (reprolint R002/R008 allowlist).
+
+The scheduler also owns task lifecycle (:meth:`Scheduler.spawn` /
+:class:`TaskHandle.join`): spawned coroutines never leak exceptions into
+the event loop — failures are captured on the handle and re-raised at
+join time, which is how the service guarantees "zero unhandled task
+exceptions" under chaos.
+
+Design rule for service code: a registered task may only suspend through
+scheduler primitives (``sleep``, ``park``, ``join``, the lock/queue
+built on them).  Awaiting anything else would stall virtual time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from collections import deque
+from collections.abc import Coroutine
+from typing import Any
+
+from ..obs.clock import ManualClock
+
+__all__ = [
+    "Scheduler",
+    "ServiceLock",
+    "TIMEOUT",
+    "TaskHandle",
+    "VirtualScheduler",
+    "Waiter",
+]
+
+
+class _Timeout:
+    """Sentinel returned by :meth:`Scheduler.park` on expiry."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "TIMEOUT"
+
+
+#: The unique timeout sentinel (never a legitimate queue item).
+TIMEOUT = _Timeout()
+
+
+class Waiter:
+    """One parked task's wake-up slot (a future plus bookkeeping)."""
+
+    __slots__ = ("fut",)
+
+    def __init__(self) -> None:
+        self.fut: asyncio.Future = asyncio.get_running_loop().create_future()
+
+
+class TaskHandle:
+    """Join handle of a spawned service task.
+
+    The wrapped coroutine's result (or exception) is delivered through
+    :meth:`join`; joining is itself a scheduler park, so virtual time
+    keeps flowing while a task waits for another.
+    """
+
+    __slots__ = ("name", "_scheduler", "_done", "_result", "_error", "_joiners")
+
+    def __init__(self, scheduler: "Scheduler", name: str) -> None:
+        self.name = name
+        self._scheduler = scheduler
+        self._done = False
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._joiners: list[Waiter] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def _finish(self, result: Any, error: BaseException | None) -> None:
+        self._done = True
+        self._result = result
+        self._error = error
+        joiners, self._joiners = self._joiners, []
+        for waiter in joiners:
+            self._scheduler.resolve(waiter, None)
+
+    async def join(self) -> Any:
+        """Wait for the task; returns its result or re-raises its error."""
+        if not self._done:
+            waiter = self._scheduler.make_waiter()
+            self._joiners.append(waiter)
+            await self._scheduler.park(waiter)
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class Scheduler:
+    """Shared task/waiter machinery; subclasses supply the time regime."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    async def sleep(self, delay: float) -> None:
+        raise NotImplementedError
+
+    async def park(self, waiter: Waiter, timeout: float | None = None) -> Any:
+        """Suspend until ``waiter`` is resolved; :data:`TIMEOUT` on expiry."""
+        raise NotImplementedError
+
+    def run(self, main: Coroutine, wall_guard_s: float | None = None) -> Any:
+        """Drive ``main`` (and everything it spawns) to completion.
+
+        ``wall_guard_s`` bounds the *wall-clock* run time with an
+        ``asyncio.wait_for``: a wedged run (a task awaiting something
+        the scheduler cannot see) surfaces as ``asyncio.TimeoutError``
+        instead of hanging forever — the tests' no-hang safety net.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Machinery shared by both regimes
+    # ------------------------------------------------------------------
+
+    def make_waiter(self) -> Waiter:
+        return Waiter()
+
+    def resolve(self, waiter: Waiter, value: Any) -> bool:
+        """Wake a parked task; False when the waiter already fired
+        (timed out or was woken by someone else)."""
+        if waiter.fut.done():
+            return False
+        waiter.fut.set_result(value)
+        self._on_resolved()
+        return True
+
+    def _on_resolved(self) -> None:
+        """Hook: the virtual regime tracks parked-task counts here."""
+
+    def _task_started(self) -> None:
+        """Hook: a spawned task began running."""
+
+    def _task_finished(self) -> None:
+        """Hook: a spawned task finished (normally or not)."""
+
+    def spawn(self, coro: Coroutine, name: str = "task") -> TaskHandle:
+        """Start a service task; its outcome is read back via ``join``."""
+        handle = TaskHandle(self, name)
+        self._task_started()
+
+        async def _wrapped() -> None:
+            result, error = None, None
+            try:
+                result = await coro
+            except Exception as exc:  # noqa: BLE001 - delivered at join()
+                error = exc
+            finally:
+                self._task_finished()
+                handle._finish(result, error)
+
+        asyncio.get_running_loop().create_task(_wrapped(), name=name)
+        return handle
+
+
+#: Virtual delays snap to this dyadic grid (2^-20 s, ~0.95 µs).  Dyadic
+#: rationals of bounded magnitude are exact in binary floating point, so
+#: every virtual timestamp is a sum of exact terms and every duration
+#: (end - start) is translation-invariant: a session measures the same
+#: duration bit-for-bit whether it ran alone or among hundreds — the
+#: property that keeps the concurrent-vs-serial latency histograms
+#: byte-identical.
+_TIME_GRID = float(1 << 20)
+
+
+def _quantize(delay: float) -> float:
+    return round(delay * _TIME_GRID) / _TIME_GRID
+
+
+class VirtualScheduler(Scheduler):
+    """Deterministic discrete-event scheduler over a :class:`ManualClock`.
+
+    The driver loop (:meth:`run`) alternates two phases: let every
+    runnable task execute until it parks, then pop the earliest pending
+    timer, advance the manual clock to it, and wake its owner.  Ties on
+    the deadline break by registration order, so the event sequence is a
+    pure function of the workload — wall time never enters.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._clock = ManualClock(start)
+        self._timers: list[tuple[float, int, Waiter]] = []
+        self._seq = 0
+        self._tasks = 0  # live registered tasks
+        self._parked = 0  # of which: awaiting an unresolved waiter
+        self._idle: asyncio.Event | None = None
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    @property
+    def clock(self) -> ManualClock:
+        """The underlying manual clock (for e.g. a virtual-time tracer)."""
+        return self._clock
+
+    # -- parked/idle bookkeeping ---------------------------------------
+
+    def _maybe_idle(self) -> None:
+        if self._idle is not None and self._parked == self._tasks:
+            self._idle.set()
+
+    def _on_resolved(self) -> None:
+        self._parked -= 1
+
+    def _task_started(self) -> None:
+        self._tasks += 1
+
+    def _task_finished(self) -> None:
+        self._tasks -= 1
+        self._maybe_idle()
+
+    # -- primitives ----------------------------------------------------
+
+    def _register_timer(self, deadline: float, waiter: Waiter) -> None:
+        self._seq += 1
+        heapq.heappush(self._timers, (deadline, self._seq, waiter))
+
+    async def park(self, waiter: Waiter, timeout: float | None = None) -> Any:
+        if timeout is not None:
+            self._register_timer(self.now() + _quantize(timeout), waiter)
+        self._parked += 1
+        self._maybe_idle()
+        return await waiter.fut
+
+    async def sleep(self, delay: float) -> None:
+        waiter = self.make_waiter()
+        self._register_timer(self.now() + _quantize(max(delay, 0.0)), waiter)
+        self._parked += 1
+        self._maybe_idle()
+        await waiter.fut
+
+    # -- the driver ----------------------------------------------------
+
+    def _fire_next_timer(self) -> None:
+        while self._timers:
+            deadline, _, waiter = heapq.heappop(self._timers)
+            if waiter.fut.done():
+                continue  # lazily discarded (woken early, e.g. queue put)
+            if deadline > self.now():
+                self._clock.advance(deadline - self.now())
+            self.resolve(waiter, TIMEOUT)
+            return
+        raise RuntimeError(
+            "virtual-time deadlock: every task is parked and no timer is "
+            "pending — some wait is missing its timeout"
+        )
+
+    def run(self, main: Coroutine, wall_guard_s: float | None = None) -> Any:
+        if wall_guard_s is None:
+            return asyncio.run(self._drive(main))
+
+        async def _guarded() -> Any:
+            return await asyncio.wait_for(self._drive(main), wall_guard_s)
+
+        return asyncio.run(_guarded())
+
+    async def _drive(self, main: Coroutine) -> Any:
+        self._idle = asyncio.Event()
+        handle = self.spawn(main, name="main")
+        while not handle.done:
+            if self._parked != self._tasks:
+                self._idle.clear()
+                await self._idle.wait()
+                continue
+            self._fire_next_timer()
+            # Give the woken task the loop before re-checking idleness.
+            self._idle.clear()
+            await asyncio.sleep(0)
+        self._idle = None
+        return await handle.join()
+
+
+class ServiceLock:
+    """FIFO mutex built on scheduler parks (fair across sessions).
+
+    ``asyncio.Lock`` would park tasks on futures the virtual driver
+    cannot see, stalling virtual time; this lock routes contention
+    through the scheduler so a blocked fit request is just another
+    parked task.
+    """
+
+    __slots__ = ("_scheduler", "_locked", "_waiters")
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        self._locked = False
+        self._waiters: deque[Waiter] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    async def acquire(self) -> None:
+        if not self._locked:
+            self._locked = True
+            return
+        waiter = self._scheduler.make_waiter()
+        self._waiters.append(waiter)
+        # Woken directly into ownership: release() hands the lock over
+        # without ever marking it free (no thundering herd).
+        await self._scheduler.park(waiter)
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError("release of an unheld ServiceLock")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if self._scheduler.resolve(waiter, True):
+                return
+        self._locked = False
+
+    async def __aenter__(self) -> "ServiceLock":
+        await self.acquire()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.release()

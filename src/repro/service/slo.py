@@ -1,0 +1,148 @@
+"""SLO accounting: turn a service metrics snapshot into a report.
+
+The server records raw, merge-safe series (counters and a fixed-bucket
+verdict-latency histogram); this module derives the operator-facing
+quantities — admission rate, p50/p99 verdict latency, drop rate, outcome
+mix — from a :class:`~repro.obs.metrics.MetricsSnapshot`.  Working from
+snapshots (not the live registry) means the same report logic serves a
+single process, a merged pool run, or a deserialized benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.streaming import CallStatus
+from ..obs.metrics import MetricsSnapshot, quantile_from_buckets
+
+__all__ = ["SLOReport", "build_slo_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOReport:
+    """Operator summary of one service run."""
+
+    admitted: int
+    rejected: int
+    sessions_finished: int
+    status_counts: dict[str, int]  # CallStatus.value -> sessions
+    end_reasons: dict[str, int]  # completed | deadline | stall -> sessions
+    frames_processed: int
+    frames_dropped: int
+    p50_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    tenant_cache: dict[str, int]  # hit | miss | eviction -> count
+    task_failures: int
+    peak_active: int = 0
+    peak_queued: int = 0
+
+    @property
+    def submitted(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def admission_rate(self) -> float:
+        return self.admitted / self.submitted if self.submitted else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        offered = self.frames_processed + self.frames_dropped
+        return self.frames_dropped / offered if offered else 0.0
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["submitted"] = self.submitted
+        out["admission_rate"] = self.admission_rate
+        out["drop_rate"] = self.drop_rate
+        return out
+
+    def lines(self) -> list[str]:
+        """The report as printable rows."""
+        status = " ".join(
+            f"{name}={count}" for name, count in sorted(self.status_counts.items())
+        )
+        reasons = " ".join(
+            f"{name}={count}" for name, count in sorted(self.end_reasons.items())
+        )
+        cache = self.tenant_cache
+        return [
+            f"sessions: submitted={self.submitted} admitted={self.admitted} "
+            f"rejected={self.rejected} (admission rate {self.admission_rate:.3f})",
+            f"peak concurrency: active={self.peak_active} queued={self.peak_queued}",
+            f"outcomes: {status or '-'}",
+            f"end reasons: {reasons or '-'}",
+            f"verdict latency: p50={self.p50_latency_s:.2f}s "
+            f"p99={self.p99_latency_s:.2f}s mean={self.mean_latency_s:.2f}s",
+            f"frames: processed={self.frames_processed} "
+            f"dropped={self.frames_dropped} (drop rate {self.drop_rate:.4f})",
+            f"tenant cache: hit={cache.get('hit', 0)} miss={cache.get('miss', 0)} "
+            f"eviction={cache.get('eviction', 0)}",
+            f"task failures: {self.task_failures}",
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+def build_slo_report(
+    snapshot: MetricsSnapshot,
+    peak_active: int = 0,
+    peak_queued: int = 0,
+) -> SLOReport:
+    """Derive the SLO view from the service's metric names."""
+    admitted = int(
+        snapshot.counter_value(
+            "service_admissions_total", decision="admitted", reason="ok"
+        )
+    )
+    rejected = int(
+        snapshot.counter_value(
+            "service_admissions_total", decision="rejected", reason="queue_full"
+        )
+    )
+    status_counts: dict[str, int] = {}
+    for status in CallStatus:
+        count = snapshot.counter_value("service_sessions_total", status=status.value)
+        if count:
+            status_counts[status.value] = int(count)
+    end_reasons: dict[str, int] = {}
+    for reason in ("completed", "deadline", "stall"):
+        count = snapshot.counter_value("service_session_end_total", reason=reason)
+        if count:
+            end_reasons[reason] = int(count)
+    latency = snapshot.get("service_verdict_latency_s", "histogram")
+    if latency is not None and latency.count:
+        p50 = quantile_from_buckets(latency.bounds, latency.bucket_counts, 0.50)
+        p99 = quantile_from_buckets(latency.bounds, latency.bucket_counts, 0.99)
+        mean = latency.sum / latency.count
+        finished = int(latency.count)
+    else:
+        p50 = p99 = mean = 0.0
+        finished = 0
+    tenant_cache = {
+        event: int(snapshot.counter_value("service_tenant_cache_total", event=event))
+        for event in ("hit", "miss", "eviction")
+    }
+    failures = 0
+    for series in snapshot.series:
+        if series.name == "service_task_failures_total" and series.kind == "counter":
+            failures += int(series.value)
+    return SLOReport(
+        admitted=admitted,
+        rejected=rejected,
+        sessions_finished=finished,
+        status_counts=status_counts,
+        end_reasons=end_reasons,
+        frames_processed=int(
+            snapshot.counter_value("service_frames_processed_total")
+        ),
+        frames_dropped=int(snapshot.counter_value("service_frames_dropped_total")),
+        p50_latency_s=p50,
+        p99_latency_s=p99,
+        mean_latency_s=mean,
+        tenant_cache=tenant_cache,
+        task_failures=failures,
+        peak_active=peak_active,
+        peak_queued=peak_queued,
+    )

@@ -107,7 +107,19 @@ class LandmarkDetector:
         self.jitter_fraction = jitter_fraction
         self.min_face_fraction = min_face_fraction
         self.assumed_aspect = assumed_aspect
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the jitter generator to its initial seeded state.
+
+        The generator advances with every detection, so a detector that
+        served one call is *not* bit-identical to a fresh one.  Session
+        recycling (``StreamingVerifier.reset``) calls this so a reused
+        detector replays exactly the jitter sequence a new instance
+        would produce.
+        """
+        self._rng = np.random.default_rng(self.seed)
 
     def skin_mask(self, pixels: np.ndarray) -> np.ndarray:
         """Boolean skin mask from illumination-invariant chromaticity."""

@@ -10,12 +10,17 @@ import json
 from pathlib import Path
 
 from repro.analysis import lint_paths
+from repro.analysis.config import load_lint_config
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+#: The declared policy (pyproject [tool.reprolint]) — what the CLI runs
+#: with; the hardcoded defaults predate the config knob.
+CONFIG = load_lint_config(REPO_ROOT)
+
 
 def test_tree_has_zero_findings():
-    result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"], config=CONFIG)
     assert result.findings == [], [
         f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
     ]
@@ -27,6 +32,7 @@ def test_tree_is_clean_under_whole_program_rules():
         [REPO_ROOT / "src", REPO_ROOT / "tests"],
         relative_to=REPO_ROOT,
         graph=True,
+        config=CONFIG,
     )
     assert result.findings == [], [
         f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings

@@ -1,9 +1,11 @@
 """Local Outlier Factor: density semantics, Fig. 9 behaviour, edge cases."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.core.lof import LocalOutlierFactor
+from repro.core.lof import LocalOutlierFactor, SmallBankWarning
 
 
 @pytest.fixture()
@@ -68,8 +70,41 @@ class TestNoveltySemantics:
 class TestSmallAndDegenerateBanks:
     def test_k_capped_at_n_minus_one(self):
         train = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
-        model = LocalOutlierFactor(5).fit(train)  # k becomes 2
+        with pytest.warns(SmallBankWarning):
+            model = LocalOutlierFactor(5).fit(train)  # k becomes 2
+        assert model.effective_neighbors == 2
         assert np.isfinite(model.score(np.array([0.5, 0.5])))
+
+    def test_small_bank_clamp_is_never_silent(self):
+        """k=5 against a tiny refitted tenant bank must announce itself."""
+        train = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.warns(SmallBankWarning, match="clamping n_neighbors from 5"):
+            LocalOutlierFactor(5).fit(train)
+
+    def test_adequate_bank_emits_no_warning(self, cluster):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SmallBankWarning)
+            model = LocalOutlierFactor(5).fit(cluster)
+        assert model.effective_neighbors == 5
+
+    def test_strict_neighbors_raises_typed_error(self):
+        train = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="cannot support n_neighbors=5"):
+            LocalOutlierFactor(5, strict_neighbors=True).fit(train)
+
+    def test_strict_neighbors_accepts_adequate_bank(self, cluster):
+        model = LocalOutlierFactor(5, strict_neighbors=True).fit(cluster)
+        assert model.effective_neighbors == 5
+
+    def test_clamped_model_still_separates(self):
+        """A degraded k must keep the inlier/outlier ordering."""
+        rng = np.random.default_rng(3)
+        train = rng.normal(0.0, 0.1, size=(4, 2))
+        with pytest.warns(SmallBankWarning):
+            model = LocalOutlierFactor(5).fit(train)
+        inlier = model.score(np.array([0.0, 0.0]))
+        outlier = model.score(np.array([4.0, 4.0]))
+        assert outlier > inlier
 
     def test_fit_requires_two_points(self):
         with pytest.raises(ValueError):

@@ -65,6 +65,34 @@ class TestLifecycle:
         assert verifier.state.status is CallStatus.GATHERING
         assert verifier.all_attempts == ()
 
+    def test_reset_is_bit_identical_to_fresh(self, trained_detector, env):
+        """A recycled verifier must replay a call exactly like a new one.
+
+        The service layer pools verifiers across sessions, so any state
+        surviving reset() — notably the landmark detector's jitter RNG —
+        would make verdicts depend on which pooled instance served the
+        session.  Run the same recording through a fresh verifier and
+        through one that already served a different call and was reset;
+        every score and quality grade must match bit-for-bit.
+        """
+        first = simulate_genuine_session(duration_s=15.0, seed=57, env=env)
+        second = simulate_attack_session(duration_s=15.0, seed=58, env=env)
+
+        recycled = StreamingVerifier(trained_detector)
+        _feed(recycled, first)  # a prior call advances all mutable state
+        recycled.reset()
+        _feed(recycled, second)
+
+        fresh = StreamingVerifier(trained_detector)
+        _feed(fresh, second)
+
+        assert len(recycled.gated_attempts) == len(fresh.gated_attempts)
+        for ours, theirs in zip(recycled.gated_attempts, fresh.gated_attempts):
+            assert ours.result.lof_score == theirs.result.lof_score
+            assert ours.result.features == theirs.result.features
+            assert ours.quality == theirs.quality
+        assert recycled.state.status is fresh.state.status
+
 
 class TestJudgement:
     def test_genuine_call_stays_live(self, trained_detector, env):

@@ -1,0 +1,1 @@
+"""Tests of the multi-tenant async verification service."""

@@ -1,0 +1,96 @@
+"""RealTimeScheduler: the wall-clock regime honors the same contract.
+
+Delays are kept tiny (tens of milliseconds) — these are smoke tests of
+the primitive mapping, not timing benchmarks.
+"""
+
+import pytest
+
+from repro.service import (
+    END_OF_STREAM,
+    FrameQueue,
+    RealTimeScheduler,
+    ServiceLock,
+    TIMEOUT,
+)
+
+
+@pytest.fixture
+def sched():
+    return RealTimeScheduler()
+
+
+class TestRealTimePrimitives:
+    def test_sleep_and_now_move_forward(self, sched):
+        async def main():
+            t0 = sched.now()
+            await sched.sleep(0.02)
+            return sched.now() - t0
+
+        elapsed = sched.run(main(), wall_guard_s=5.0)
+        assert elapsed >= 0.015
+
+    def test_park_timeout_returns_sentinel(self, sched):
+        async def main():
+            waiter = sched.make_waiter()
+            return await sched.park(waiter, timeout=0.02)
+
+        assert sched.run(main(), wall_guard_s=5.0) is TIMEOUT
+
+    def test_spawn_join_and_queue_handoff(self, sched):
+        queue = None
+
+        async def consumer():
+            items = []
+            while True:
+                item = await queue.get(timeout=1.0)
+                if item is END_OF_STREAM or item is TIMEOUT:
+                    return items
+                items.append(item)
+
+        async def main():
+            nonlocal queue
+            queue = FrameQueue(sched, maxsize=4)
+            handle = sched.spawn(consumer(), name="consumer")
+            await sched.sleep(0.01)
+            queue.put("a")
+            queue.put("b")
+            queue.close()
+            return await handle.join()
+
+        assert sched.run(main(), wall_guard_s=5.0) == ["a", "b"]
+
+    def test_lock_is_exclusive(self, sched):
+        order = []
+
+        async def worker(lock, name):
+            async with lock:
+                order.append(("enter", name))
+                await sched.sleep(0.01)
+                order.append(("exit", name))
+
+        async def main():
+            lock = ServiceLock(sched)
+            handles = [
+                sched.spawn(worker(lock, "a"), name="a"),
+                sched.spawn(worker(lock, "b"), name="b"),
+            ]
+            for handle in handles:
+                await handle.join()
+
+        sched.run(main(), wall_guard_s=5.0)
+        assert order == [
+            ("enter", "a"), ("exit", "a"), ("enter", "b"), ("exit", "b")
+        ]
+
+    def test_join_reraises(self, sched):
+        async def worker():
+            await sched.sleep(0.01)
+            raise ValueError("real failure")
+
+        async def main():
+            handle = sched.spawn(worker(), name="worker")
+            with pytest.raises(ValueError, match="real failure"):
+                await handle.join()
+
+        sched.run(main(), wall_guard_s=5.0)

@@ -1,0 +1,92 @@
+"""SLO reporting: snapshot -> operator-facing numbers."""
+
+import pytest
+
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.service import (
+    SERVICE_LATENCY_BUCKETS_S,
+    SLOReport,
+    build_slo_report,
+)
+
+
+def make_snapshot():
+    """A hand-built service snapshot with known totals."""
+    instr = Instrumentation.enabled()
+    for _ in range(8):
+        instr.count("service_admissions_total", decision="admitted", reason="ok")
+    for _ in range(2):
+        instr.count(
+            "service_admissions_total", decision="rejected", reason="queue_full"
+        )
+    for status, count in (("live", 5), ("attacker", 2), ("inconclusive", 1)):
+        instr.count("service_sessions_total", count, status=status)
+    for reason, count in (("completed", 7), ("stall", 1)):
+        instr.count("service_session_end_total", count, reason=reason)
+    instr.count("service_frames_processed_total", 900)
+    instr.count("service_frames_dropped_total", 100)
+    for latency in (12.0, 14.0, 16.0, 18.0, 20.0, 30.0, 40.0, 55.0):
+        instr.observe(
+            "service_verdict_latency_s", latency, buckets=SERVICE_LATENCY_BUCKETS_S
+        )
+    instr.count("service_tenant_cache_total", 6, event="hit")
+    instr.count("service_tenant_cache_total", 2, event="miss")
+    instr.count("service_tenant_cache_total", 1, event="eviction")
+    instr.count("service_task_failures_total", stage="tenant_fit")
+    return instr.snapshot()
+
+
+class TestBuildReport:
+    def test_totals_and_rates(self):
+        report = build_slo_report(make_snapshot(), peak_active=6, peak_queued=3)
+        assert report.admitted == 8
+        assert report.rejected == 2
+        assert report.submitted == 10
+        assert report.admission_rate == pytest.approx(0.8)
+        assert report.sessions_finished == 8
+        assert report.status_counts == {"live": 5, "attacker": 2, "inconclusive": 1}
+        assert report.end_reasons == {"completed": 7, "stall": 1}
+        assert report.frames_processed == 900
+        assert report.frames_dropped == 100
+        assert report.drop_rate == pytest.approx(0.1)
+        assert report.tenant_cache == {"hit": 6, "miss": 2, "eviction": 1}
+        assert report.task_failures == 1
+        assert report.peak_active == 6
+        assert report.peak_queued == 3
+
+    def test_latency_quantiles_come_from_the_histogram(self):
+        report = build_slo_report(make_snapshot())
+        # Bucket-interpolated: p50 inside (15, 20], p99 inside (45, 60].
+        assert 15.0 < report.p50_latency_s <= 20.0
+        assert 45.0 < report.p99_latency_s <= 60.0
+        assert report.mean_latency_s == pytest.approx(
+            sum((12.0, 14.0, 16.0, 18.0, 20.0, 30.0, 40.0, 55.0)) / 8
+        )
+
+    def test_empty_snapshot_yields_a_zero_report(self):
+        report = build_slo_report(MetricsRegistry().snapshot())
+        assert report.submitted == 0
+        assert report.admission_rate == 0.0  # reprolint: disable=R004
+        assert report.sessions_finished == 0
+        assert report.drop_rate == 0.0  # reprolint: disable=R004
+        assert report.p50_latency_s == 0.0  # reprolint: disable=R004
+        assert report.task_failures == 0
+
+    def test_report_renders_and_round_trips(self):
+        report = build_slo_report(make_snapshot(), peak_active=6, peak_queued=3)
+        text = str(report)
+        assert "admission rate 0.800" in text
+        assert "active=6 queued=3" in text
+        assert "task failures: 1" in text
+        data = report.to_dict()
+        assert data["admitted"] == 8
+        assert data["submitted"] == 10
+        assert data["drop_rate"] == pytest.approx(0.1)
+        rebuilt = SLOReport(
+            **{
+                k: v
+                for k, v in data.items()
+                if k not in {"submitted", "admission_rate", "drop_rate"}
+            }
+        )
+        assert rebuilt == report

@@ -58,6 +58,22 @@ class TestParser:
         assert args.trace == "t.jsonl"
         assert args.format == "json"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.sessions == 8
+        assert args.tenants == 3
+        assert args.realtime is False
+        assert args.chaos == 0.0  # reprolint: disable=R004
+
+    def test_loadtest_options(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--sessions", "50", "--no-serial-check",
+             "--json", "out.json"]
+        )
+        assert args.sessions == 50
+        assert args.no_serial_check is True
+        assert args.json == "out.json"
+
 
 class TestInfo:
     def test_info_prints_paper_constants(self, capsys):
@@ -97,3 +113,24 @@ class TestEndToEnd:
         assert '"name": "verifier_sessions_total"' in out
         # The trace aggregator consumes what simulate wrote.
         assert main(["trace", trace]) == 0
+
+    def test_serve_reports_slo(self, capsys):
+        assert main(["serve", "--sessions", "2", "--tenants", "1",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual clock" in out
+        assert "admission rate" in out
+        assert "task failures: 0" in out
+
+    def test_loadtest_writes_identity_checked_json(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "service.json")
+        assert main(["loadtest", "--sessions", "6", "--tenants", "2",
+                     "--arrival-rate", "4.0", "--chaos", "0.3",
+                     "--seed", "11", "--json", path]) == 0
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == "bench-service-v1"
+        assert payload["serial_identity"] is True
+        assert payload["task_failures"] == 0
+        assert "IDENTICAL" in capsys.readouterr().out
