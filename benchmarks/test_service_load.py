@@ -61,7 +61,9 @@ def _run(serial: bool):
         instrumentation=instr,
     )
     t0 = time.perf_counter()
-    result = run_workload(scheduler, server, WORKLOAD, serial=serial)
+    result = run_workload(
+        scheduler, server, WORKLOAD, serial=serial, wall_guard_s=600.0
+    )
     wall_s = time.perf_counter() - t0
     return result, instr.snapshot(), server, wall_s
 

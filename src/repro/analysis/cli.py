@@ -4,8 +4,9 @@ Kept inside the analysis package so ``repro.cli`` only registers the
 subcommand; everything lint-specific (defaults, exit codes, baseline
 handling) lives next to the code it drives.
 
-The whole-program pass (R007-R011) is on by default; ``--no-graph``
-restores the per-file-only behavior.  ``--changed-only`` is the fast
+The whole-program pass (R007-R011 plus the concurrency rules
+R012-R016) is on by default; ``--no-graph`` restores the per-file-only
+behavior and ``--no-async`` keeps the graph pass but skips R012-R016.  ``--changed-only`` is the fast
 pre-commit path: per-file rules and findings are restricted to files
 ``git diff --name-only HEAD`` reports as modified, while module
 summaries for the unchanged rest come from the content-hash cache
@@ -80,13 +81,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         dest="graph",
         action="store_true",
         default=True,
-        help="run the whole-program rules R007-R011 (default: on)",
+        help="run the whole-program rules R007-R016 (default: on)",
     )
     parser.add_argument(
         "--no-graph",
         dest="graph",
         action="store_false",
         help="per-file rules only; skip call-graph analysis",
+    )
+    parser.add_argument(
+        "--no-async",
+        dest="async_rules",
+        action="store_false",
+        default=True,
+        help="skip the concurrency-safety rules R012-R016",
     )
     parser.add_argument(
         "--dump-graph",
@@ -164,6 +172,7 @@ def run_lint(args: argparse.Namespace) -> int:
             config=config,
             cache=cache,
             only=only,
+            async_rules=args.async_rules,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}")

@@ -37,6 +37,13 @@ class LintConfig:
     #: Top-level packages whose public functions R009 audits for
     #: reachability (files outside these packages are exempt).
     project_packages: tuple[str, ...] = ("repro",)
+    #: Path suffixes of the modules that *implement* the scheduler
+    #: primitives — the only places R012-R015 bless raw asyncio usage,
+    #: foreign awaits, and timeout-less parks.
+    scheduler_modules: tuple[str, ...] = (
+        "service/scheduler.py",
+        "service/realtime.py",
+    )
     #: Per-rule option tables from ``[tool.reprolint.rules.Rxxx]``.
     rule_options: tuple[tuple[str, tuple[tuple[str, tuple[str, ...]], ...]], ...] = ()
 
@@ -90,6 +97,10 @@ def load_lint_config(root: str | Path | None = None) -> LintConfig:
     if "project-packages" in section:
         kwargs["project_packages"] = _string_tuple(
             section["project-packages"], "project-packages"
+        )
+    if "scheduler-modules" in section:
+        kwargs["scheduler_modules"] = _string_tuple(
+            section["scheduler-modules"], "scheduler-modules"
         )
     rules = section.get("rules", {})
     if rules:

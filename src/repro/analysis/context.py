@@ -18,7 +18,9 @@ parsed AST plus the derived tables the rules need:
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import PurePath
 
 from .config import DEFAULT_LINT_CONFIG, LintConfig
@@ -53,6 +55,9 @@ class ModuleContext:
         self.from_imports: dict[str, str] = {}
         self.nested_function_names: set[str] = set()
         self.lambda_names: set[str] = set()
+        #: ``(line, token)`` pairs that silenced at least one diagnostic
+        #: this run — what W001 (unused suppression) is computed against.
+        self.used_suppressions: set[tuple[int, str]] = set()
         self._suppressions = self._collect_suppressions()
         self._collect_imports()
         self._collect_nested_defs()
@@ -62,24 +67,52 @@ class ModuleContext:
     # ------------------------------------------------------------------
 
     def _collect_suppressions(self) -> dict[int, set[str]]:
+        """Suppression tokens per line, from *real* comments only.
+
+        Tokenizing (rather than regex over raw lines) keeps fixture
+        source embedded in string literals — common in this repo's own
+        tests — from registering phantom suppressions, which would
+        surface as false W001s.  Files that fail to tokenize fall back
+        to the old line scan; they fail to parse too, so the only rule
+        that could fire there is E000 anyway.
+        """
         table: dict[int, set[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
+
+        def record(lineno: int, text: str) -> None:
+            match = _SUPPRESS_RE.search(text)
             if match:
                 rules = {part.strip() for part in match.group(1).split(",")}
-                table[lineno] = {r for r in rules if r}
+                rules = {r for r in rules if r}
+                if rules:
+                    table.setdefault(lineno, set()).update(rules)
+
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    record(token.start[0], token.string)
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            table.clear()
+            for lineno, line in enumerate(self.lines, start=1):
+                record(lineno, line)
         return table
 
     def is_suppressed(self, node: ast.AST, rule_id: str) -> bool:
         """True when any physical line of ``node`` carries a suppression
-        for ``rule_id`` (or for ``all``/``*``)."""
+        for ``rule_id`` (or for ``all``/``*``); matching declarations
+        are recorded as used."""
         start = getattr(node, "lineno", 0)
         end = getattr(node, "end_lineno", start) or start
+        hit = False
         for lineno in range(start, end + 1):
             rules = self._suppressions.get(lineno)
-            if rules and (rule_id in rules or "all" in rules or "*" in rules):
-                return True
-        return False
+            if not rules:
+                continue
+            for token in (rule_id, "all", "*"):
+                if token in rules:
+                    self.used_suppressions.add((lineno, token))
+                    hit = True
+        return hit
 
     def suppression_table(self) -> dict[int, tuple[str, ...]]:
         """The suppression table in the serializable form the graph

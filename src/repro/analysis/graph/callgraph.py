@@ -79,6 +79,10 @@ class ProgramGraph:
         self.direct_effects: dict[str, tuple[DirectEffect, ...]] = {}
         self.transitive: dict[str, dict[str, Origin]] = {}
         self.global_refs: frozenset[str] = frozenset()
+        #: ``(path, line, token)`` suppression declarations that silenced
+        #: a graph-rule diagnostic; merged with the per-file contexts'
+        #: usage sets when the linter computes W001.
+        self.suppression_uses: set[tuple[str, int, str]] = set()
 
     # ------------------------------------------------------------------
     # Symbol resolution
@@ -160,7 +164,15 @@ class ProgramGraph:
 
     def is_suppressed(self, path: str, line: int, rule_id: str) -> bool:
         summary = self.by_path.get(path)
-        return summary is not None and summary.is_suppressed(line, rule_id)
+        if summary is None:
+            return False
+        rules = summary.suppressions.get(line, ())
+        hit = False
+        for token in (rule_id, "all", "*"):
+            if token in rules:
+                self.suppression_uses.add((path, line, token))
+                hit = True
+        return hit
 
     def dotted_name(self, node_id: str) -> str:
         return self.nodes[node_id].dotted

@@ -26,6 +26,7 @@ from __future__ import annotations
 import ast
 import dataclasses
 
+from ..async_.summary import EMPTY_ASYNC_INFO, AsyncInfo, collect_async_info
 from ..context import ModuleContext
 from ..effects import clock_effect, rng_effect
 from .symbols import Binding, collect_bindings, module_name_for
@@ -44,7 +45,9 @@ __all__ = [
 ]
 
 #: Current summary schema; bump to invalidate every cache entry.
-SUMMARY_VERSION = 1
+#: v2 added the async/concurrency fields (``AsyncInfo`` per function,
+#: constructor tables per class/module) consumed by R012-R016.
+SUMMARY_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -180,15 +183,19 @@ class FunctionSummary:
     public: bool
     calls: tuple[CallTarget, ...]
     effects: tuple[Effect, ...]
+    async_info: AsyncInfo = EMPTY_ASYNC_INFO
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "qual": self.qual,
             "line": self.line,
             "public": self.public,
             "calls": [c.to_dict() for c in self.calls],
             "effects": [e.to_dict() for e in self.effects],
         }
+        if not self.async_info.is_empty():
+            out["async"] = self.async_info.to_dict()
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "FunctionSummary":
@@ -198,6 +205,7 @@ class FunctionSummary:
             public=data["public"],
             calls=tuple(CallTarget.from_dict(c) for c in data["calls"]),
             effects=tuple(Effect.from_dict(e) for e in data["effects"]),
+            async_info=AsyncInfo.from_dict(data.get("async", {})),
         )
 
 
@@ -208,6 +216,11 @@ class ClassSummary:
     public: bool
     methods: tuple[str, ...]
     hazards: tuple[Hazard, ...]
+    #: (attr, constructor target, from_container) for every
+    #: ``self.<attr> = Ctor(...)`` (or list/dict of ctor calls) in the
+    #: class body — how the lock-set dataflow identifies lock attributes
+    #: without baking lock-class names into the cached summary.
+    attr_ctors: tuple[tuple[str, CallTarget, bool], ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -216,6 +229,10 @@ class ClassSummary:
             "public": self.public,
             "methods": list(self.methods),
             "hazards": [h.to_dict() for h in self.hazards],
+            "attr_ctors": [
+                {"attr": attr, "ctor": ctor.to_dict(), "container": container}
+                for attr, ctor, container in self.attr_ctors
+            ],
         }
 
     @staticmethod
@@ -226,6 +243,10 @@ class ClassSummary:
             public=data["public"],
             methods=tuple(data["methods"]),
             hazards=tuple(Hazard.from_dict(h) for h in data["hazards"]),
+            attr_ctors=tuple(
+                (d["attr"], CallTarget.from_dict(d["ctor"]), d["container"])
+                for d in data.get("attr_ctors", ())
+            ),
         )
 
 
@@ -243,6 +264,9 @@ class ModuleSummary:
     refs: tuple[str, ...]
     suppressions: dict[int, tuple[str, ...]]
     map_sites: tuple[MapSite, ...]
+    #: Module-level ``NAME = Ctor(...)`` assignments, so a lock bound at
+    #: module scope keeps one identity across every function using it.
+    var_ctors: dict[str, CallTarget] = dataclasses.field(default_factory=dict)
     error: str | None = None
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
@@ -262,6 +286,9 @@ class ModuleSummary:
             "refs": list(self.refs),
             "suppressions": {str(k): list(v) for k, v in sorted(self.suppressions.items())},
             "map_sites": [m.to_dict() for m in self.map_sites],
+            "var_ctors": {
+                k: c.to_dict() for k, c in sorted(self.var_ctors.items())
+            },
             "error": self.error,
         }
 
@@ -282,6 +309,10 @@ class ModuleSummary:
                 int(k): tuple(v) for k, v in data["suppressions"].items()
             },
             map_sites=tuple(MapSite.from_dict(m) for m in data["map_sites"]),
+            var_ctors={
+                k: CallTarget.from_dict(c)
+                for k, c in data.get("var_ctors", {}).items()
+            },
             error=data["error"],
         )
 
@@ -399,12 +430,21 @@ class _CallableSummarizer:
         for node in ast.walk(func_node):
             if isinstance(node, ast.Call):
                 self._visit_call(node, qual)
+        async_info = collect_async_info(
+            func_node,
+            classify=lambda e: _classify_target(e, self.bindings, self.cls_name),
+            resolve_dotted=self.ctx.resolve_dotted,
+            is_open=lambda call: _is_open_call(call, self.bindings),
+            assigns=self._assigns,
+            cls_name=self.cls_name,
+        )
         return FunctionSummary(
             qual=qual,
             line=func_node.lineno,
             public=not func_node.name.startswith("_"),
             calls=tuple(self.calls),
             effects=tuple(self.effects),
+            async_info=async_info,
         )
 
     # -- calls ----------------------------------------------------------
@@ -542,6 +582,61 @@ def _class_hazards(
     return hazards
 
 
+def _attr_ctors(
+    node: ast.ClassDef, bindings: dict[str, Binding]
+) -> tuple[tuple[str, CallTarget, bool], ...]:
+    """``self.x = Ctor(...)`` (or a list/dict comprehension of ctor
+    calls, as in sharded lock pools) anywhere in the class body.  First
+    assignment per attribute wins."""
+    out: dict[str, tuple[CallTarget, bool]] = {}
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Assign):
+            continue
+        for target in sub.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if target.attr in out:
+                continue
+            value = sub.value
+            container = not isinstance(value, ast.Call)
+            call = value if isinstance(value, ast.Call) else None
+            if call is None:
+                for inner in ast.walk(value):
+                    if isinstance(inner, ast.Call):
+                        call = inner
+                        break
+            if call is None:
+                continue
+            ctor = _classify_target(call.func, bindings, None)
+            if ctor is not None:
+                out[target.attr] = (ctor, container)
+    return tuple(
+        (attr, ctor, container)
+        for attr, (ctor, container) in sorted(out.items())
+    )
+
+
+def _collect_var_ctors(
+    tree: ast.Module, bindings: dict[str, Binding]
+) -> dict[str, CallTarget]:
+    """Module-level ``NAME = Ctor(...)`` assignments."""
+    out: dict[str, CallTarget] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        ctor = _classify_target(node.value.func, bindings, None)
+        if ctor is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.setdefault(target.id, ctor)
+    return out
+
+
 def _collect_refs(tree: ast.Module) -> tuple[str, ...]:
     """Every identifier the module references: loaded names plus
     attribute names (the coarse usage relation R009 runs on)."""
@@ -584,6 +679,7 @@ def summarize_module(ctx: ModuleContext, path: str | None = None) -> ModuleSumma
                 public=cls_public,
                 methods=tuple(methods),
                 hazards=tuple(_class_hazards(node, bindings)),
+                attr_ctors=_attr_ctors(node, bindings),
             )
 
     return ModuleSummary(
@@ -597,4 +693,5 @@ def summarize_module(ctx: ModuleContext, path: str | None = None) -> ModuleSumma
         refs=_collect_refs(ctx.tree),
         suppressions=ctx.suppression_table(),
         map_sites=tuple(map_sites),
+        var_ctors=_collect_var_ctors(ctx.tree, bindings),
     )

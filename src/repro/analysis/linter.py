@@ -11,11 +11,17 @@ of the report.
 With ``graph=True`` the walk additionally builds a per-module summary
 for every file (served from the content-hash :class:`SummaryCache`
 when the bytes are unchanged), assembles the program graph, and runs
-the whole-program rules R007-R011 over it.  ``only`` restricts which
-files get per-file rule execution and which findings are reported —
-the ``--changed-only`` fast path — while summaries still cover the
-whole tree, because interprocedural analysis is only sound over the
-whole program.
+the whole-program rules R007-R011 plus the concurrency rules R012-R016
+(``async_rules=False`` skips the latter) over it.  ``only`` restricts
+which files get per-file rule execution and which findings are
+reported — the ``--changed-only`` fast path — while summaries still
+cover the whole tree, because interprocedural analysis is only sound
+over the whole program.
+
+After the rules, suppression hygiene runs over every selected file:
+a ``# reprolint: disable=`` declaration that silenced nothing is W001,
+one naming an id no rule has is W002 (as is an unknown id configured
+under ``[tool.reprolint.rules]``).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import ast
 from pathlib import Path, PurePath
 
+from .async_.rules import ASYNC_RULE_IDS  # noqa: F401 - import registers R012-R016
 from .config import DEFAULT_LINT_CONFIG, LintConfig
 from .context import ModuleContext
 from .findings import Finding, fingerprint_findings
@@ -34,7 +41,12 @@ from .graph import (
     error_summary,
     summarize_module,
 )
-from .rulebase import Rule, registered_graph_rules, registered_rules
+from .rulebase import (
+    Rule,
+    registered_graph_rules,
+    registered_rule_ids,
+    registered_rules,
+)
 
 __all__ = ["analyze_source", "collect_files", "lint_paths", "LintResult"]
 
@@ -146,6 +158,7 @@ def lint_paths(
     cache: SummaryCache | None = None,
     metrics=None,
     only: set[str] | None = None,
+    async_rules: bool = True,
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
@@ -153,12 +166,14 @@ def lint_paths(
     (the CLI passes the working directory), else as provided.  ``only``
     is a set of report paths: files outside it are summarized (the
     graph needs the whole program) but get no per-file rule execution
-    and contribute no findings.
+    and contribute no findings.  ``async_rules=False`` (the CLI's
+    ``--no-async``) skips the concurrency rules R012-R016.
     """
     config = config if config is not None else DEFAULT_LINT_CONFIG
     files = collect_files(paths)
     findings: list[Finding] = []
     summaries = []
+    tracked: list[tuple[str, ModuleContext]] = []
     for file_path in files:
         report_path = _report_path(file_path, relative_to)
         selected = only is None or report_path in only
@@ -204,6 +219,7 @@ def lint_paths(
             continue
 
         if selected:
+            tracked.append((report_path, ctx))
             for rule_cls in rules if rules is not None else registered_rules():
                 findings.extend(rule_cls(ctx).run())
         if graph:
@@ -214,13 +230,104 @@ def lint_paths(
                     cache.put(report_path, digest, summary, str(file_path))
             summaries.append(summary)
 
+    per_file_ids = {
+        rule_cls.id for rule_cls in (rules if rules is not None else registered_rules())
+    }
+    graph_rule_classes = [
+        rule_cls
+        for rule_cls in registered_graph_rules()
+        if async_rules or rule_cls.id not in ASYNC_RULE_IDS
+    ]
+
     program_graph: ProgramGraph | None = None
     if graph:
         if cache is not None:
             cache.save()
         program_graph = build_graph(summaries, config)
-        for rule_cls in registered_graph_rules():
+        for rule_cls in graph_rule_classes:
             for finding in rule_cls().run(program_graph):
                 if only is None or finding.path in only:
                     findings.append(finding)
+
+    assessable = set(per_file_ids)
+    if graph:
+        assessable.update(rule_cls.id for rule_cls in graph_rule_classes)
+    findings.extend(
+        _suppression_hygiene(tracked, program_graph, assessable, config, only)
+    )
     return LintResult(findings, files_scanned=len(files), graph=program_graph)
+
+
+def _meta_finding(
+    rule: str, path: str, line: int, message: str, snippet: str = ""
+) -> Finding:
+    return Finding(
+        path=path, line=line, col=1, rule=rule, message=message, snippet=snippet
+    )
+
+
+def _suppression_hygiene(
+    tracked: list[tuple[str, ModuleContext]],
+    program_graph: ProgramGraph | None,
+    assessable: set[str],
+    config: LintConfig,
+    only: set[str] | None,
+) -> list[Finding]:
+    """W001 (suppression silenced nothing) and W002 (unknown rule id).
+
+    A suppression is only judged unused when every rule it could have
+    silenced actually ran — a graph-rule id with ``graph=False``, or an
+    async id under ``--no-async``, is left alone.  Wildcards (``all``,
+    ``*``) are always assessable: they claim to silence everything, so
+    silencing nothing is always reportable.
+    """
+    known = registered_rule_ids()
+    graph_uses = (
+        program_graph.suppression_uses if program_graph is not None else set()
+    )
+    out: list[Finding] = []
+    for report_path, ctx in tracked:
+        used = set(ctx.used_suppressions)
+        used.update(
+            (line, token)
+            for path, line, token in graph_uses
+            if path == report_path
+        )
+        for line, tokens in sorted(ctx.suppression_table().items()):
+            for token in tokens:
+                wildcard = token in ("all", "*")
+                if not wildcard and token not in known:
+                    out.append(
+                        _meta_finding(
+                            "W002",
+                            report_path,
+                            line,
+                            f"suppression names unknown rule id '{token}'",
+                            ctx.snippet_at(line),
+                        )
+                    )
+                elif (wildcard or token in assessable) and (line, token) not in used:
+                    out.append(
+                        _meta_finding(
+                            "W001",
+                            report_path,
+                            line,
+                            f"suppression for '{token}' silences nothing — "
+                            "delete the stale comment",
+                            ctx.snippet_at(line),
+                        )
+                    )
+    config_path = "pyproject.toml"
+    if only is None or config_path in only:
+        for rule_id, _options in config.rule_options:
+            if rule_id not in known:
+                out.append(
+                    _meta_finding(
+                        "W002",
+                        config_path,
+                        1,
+                        f"[tool.reprolint.rules.{rule_id}] configures an "
+                        "unknown rule id",
+                    )
+                )
+    return out

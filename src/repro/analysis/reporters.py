@@ -6,6 +6,9 @@ order, and the schema is versioned, so downstream parsers can rely on
 byte-stable output for identical inputs.  Schema v2 added the
 ``evidence`` array per finding — the call-chain hops (one file:line
 per hop) behind whole-program findings, empty for per-file rules.
+Schema v3 added ``category`` per finding and per rule-table entry
+("per-file", "whole-program", "concurrency", "meta" for W001/W002,
+"error" for E000).
 """
 
 from __future__ import annotations
@@ -13,11 +16,11 @@ from __future__ import annotations
 import json
 
 from .findings import Finding
-from .rulebase import rule_metadata
+from .rulebase import rule_category, rule_metadata
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 2
+JSON_SCHEMA_VERSION = 3
 
 
 def render_text(
@@ -57,6 +60,7 @@ def render_json(
                 "line": finding.line,
                 "col": finding.col,
                 "rule": finding.rule,
+                "category": rule_category(finding.rule),
                 "message": finding.message,
                 "snippet": finding.snippet,
                 "fingerprint": finding.fingerprint,

@@ -31,6 +31,8 @@ __all__ = [
     "register_graph",
     "registered_rules",
     "registered_graph_rules",
+    "registered_rule_ids",
+    "rule_category",
     "rule_metadata",
 ]
 
@@ -41,6 +43,7 @@ class Rule(ast.NodeVisitor):
     id: str = ""
     title: str = ""
     rationale: str = ""
+    category: str = "per-file"
 
     def __init__(self, ctx: ModuleContext) -> None:
         self.ctx = ctx
@@ -81,6 +84,7 @@ class GraphRule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    category: str = "whole-program"
 
     def __init__(self) -> None:
         self.findings: list[Finding] = []
@@ -144,14 +148,33 @@ def registered_graph_rules() -> list[type[GraphRule]]:
     return [_GRAPH_REGISTRY[rule_id] for rule_id in sorted(_GRAPH_REGISTRY)]
 
 
+def registered_rule_ids() -> frozenset[str]:
+    """Every registered rule id — what ``disable=`` comments and
+    ``[tool.reprolint.rules.*]`` tables may legally name."""
+    return frozenset(_REGISTRY) | frozenset(_GRAPH_REGISTRY)
+
+
+def rule_category(rule_id: str) -> str:
+    """The category of a registered rule; meta/error ids (``W...``,
+    ``E000``) are synthesized by the linter, not registered here."""
+    if rule_id in _REGISTRY:
+        return _REGISTRY[rule_id].category
+    if rule_id in _GRAPH_REGISTRY:
+        return _GRAPH_REGISTRY[rule_id].category
+    if rule_id.startswith("W"):
+        return "meta"
+    return "error"
+
+
 def rule_metadata() -> list[dict[str, str]]:
-    """JSON-friendly rule table (id, title, rationale), per-file and
-    graph rules interleaved in id order."""
+    """JSON-friendly rule table (id, title, category, rationale),
+    per-file and graph rules interleaved in id order."""
     merged = {**_REGISTRY, **_GRAPH_REGISTRY}
     return [
         {
             "id": rule_id,
             "title": merged[rule_id].title,
+            "category": merged[rule_id].category,
             "rationale": " ".join(merged[rule_id].rationale.split()),
         }
         for rule_id in sorted(merged)

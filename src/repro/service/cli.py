@@ -96,7 +96,15 @@ def run_serve(args: argparse.Namespace) -> int:
         f"serving {workload.sessions} sessions / {workload.tenants} tenants "
         f"({mode} clock) ..."
     )
-    result = run_workload(scheduler, server, workload)
+    result = run_workload(
+        scheduler,
+        server,
+        workload,
+        # The realtime demo runs at wall speed under the operator's eye,
+        # so it stays unbounded; virtual runs finish in milliseconds and
+        # a wedge should raise rather than hang.
+        wall_guard_s=None if args.realtime else 300.0,
+    )
     for outcome in result.outcomes:
         print(
             f"  {outcome.session_id} tenant={outcome.tenant_id} "
@@ -144,7 +152,9 @@ def add_loadtest_arguments(parser: argparse.ArgumentParser) -> None:
 def _run_one(workload: WorkloadConfig, server_config: ServerConfig, serial: bool):
     scheduler = VirtualScheduler()
     server, instr = _build_stack(workload, server_config, scheduler)
-    result = run_workload(scheduler, server, workload, serial=serial)
+    result = run_workload(
+        scheduler, server, workload, serial=serial, wall_guard_s=600.0
+    )
     return result, instr.snapshot(), server
 
 

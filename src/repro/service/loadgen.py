@@ -400,8 +400,16 @@ def run_workload(
     server: VerificationServer,
     config: WorkloadConfig,
     serial: bool = False,
+    wall_guard_s: float | None = None,
 ) -> WorkloadResult:
-    """Run the whole workload to completion on ``scheduler``."""
+    """Run the whole workload to completion on ``scheduler``.
+
+    ``wall_guard_s`` bounds the wall-clock time of the whole run (a
+    wedged task raises TimeoutError instead of hanging the process);
+    None is reserved for drivers that manage their own deadline.
+    """
     scripts = build_scripts(config)
     runner = _run_serial if serial else _run_open_loop
-    return scheduler.run(runner(scheduler, server, scripts, config))
+    return scheduler.run(
+        runner(scheduler, server, scripts, config), wall_guard_s=wall_guard_s
+    )

@@ -1,0 +1,90 @@
+"""Summary-cache behavior when only a callee's *async* summary changes.
+
+The concurrency rules read per-function ``AsyncInfo`` out of the same
+content-hash-cached module summaries R007-R011 use.  These tests pin
+the load-bearing property: editing one module re-summarizes exactly
+that module (counted via ``reprograph_summaries_total``), and a graph
+assembled from one fresh and N cached summaries reaches the same
+R012-R016 verdicts as a cold run — cached callers must compose with a
+callee whose suspension behavior just changed.
+"""
+
+from repro.analysis.graph import SummaryCache
+from repro.obs.metrics import MetricsRegistry
+
+from .test_graph import graph_lint, write_tree
+
+FILES = {
+    "waits.py": """
+        async def drain(q):
+            return await q.get(5.0)
+        """,
+    "driver.py": """
+        from waits import drain
+
+        def main(sched, q):
+            return sched.run(drain(q))
+        """,
+}
+
+
+def counts(registry):
+    snapshot = registry.snapshot()
+    return (
+        snapshot.counter_value("reprograph_summaries_total", result="hit"),
+        snapshot.counter_value("reprograph_summaries_total", result="miss"),
+    )
+
+
+def r015(result):
+    return sorted(
+        (f.path, f.line, f.message) for f in result.findings if f.rule == "R015"
+    )
+
+
+class TestAsyncSummaryInvalidation:
+    def test_callee_edit_re_summarizes_only_the_callee(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cache_file = tmp_path / "cache" / "summaries.json"
+
+        cold = MetricsRegistry()
+        graph_lint(tmp_path, cache=SummaryCache(cache_file), metrics=cold)
+        assert counts(cold) == (0.0, 2.0)
+
+        # Drop the timeout: only drain's async summary changes.
+        (tmp_path / "waits.py").write_text(
+            "async def drain(q):\n    return await q.get()\n"
+        )
+        warm = MetricsRegistry()
+        graph_lint(tmp_path, cache=SummaryCache(cache_file), metrics=warm)
+        assert counts(warm) == (1.0, 1.0)
+
+    def test_cached_caller_sees_the_callee_change(self, tmp_path):
+        """The unguarded run lives in driver.py (cached); the wait that
+        just lost its timeout lives in waits.py (fresh).  R015's second
+        half needs both, so a stale async summary would hide it."""
+        write_tree(tmp_path, FILES)
+        cache_file = tmp_path / "cache" / "summaries.json"
+
+        before = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        assert not any("awaits get()" in m for _p, _l, m in r015(before))
+
+        (tmp_path / "waits.py").write_text(
+            "async def drain(q):\n    return await q.get()\n"
+        )
+        cached = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        cold = graph_lint(tmp_path, cache=SummaryCache(tmp_path / "cold.json"))
+        assert any("awaits get()" in m for _p, _l, m in r015(cached))
+        assert r015(cached) == r015(cold)
+
+    def test_async_summary_roundtrips_through_the_cache(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cache_file = tmp_path / "cache" / "summaries.json"
+        fresh = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        warm = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        for module in ("waits", "driver"):
+            fresh_fns = fresh.graph.modules[module].functions
+            warm_fns = warm.graph.modules[module].functions
+            assert {q: f.async_info for q, f in fresh_fns.items()} == {
+                q: f.async_info for q, f in warm_fns.items()
+            }

@@ -59,13 +59,14 @@ class TestJsonReport:
         target = write_fixture(tmp_path, "R002")
         assert main(["lint", str(target), "--format", "json"]) == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert report["counts"]["new"] == 1
         (finding,) = report["findings"]
         assert finding["rule"] == "R002"
+        assert finding["category"] == "per-file"
         assert finding["line"] > 0
         assert finding["evidence"] == []  # per-file rules carry no chain
-        assert {"id", "title", "rationale"} <= set(report["rules"][0])
+        assert {"id", "title", "category", "rationale"} <= set(report["rules"][0])
 
     def test_json_is_byte_stable_across_runs(self, tmp_path, capsys):
         target = write_fixture(tmp_path, "R005")
@@ -82,4 +83,6 @@ class TestListRules:
         for rule_id in sorted(RULE_FIXTURES):
             assert rule_id in out
         for rule_id in ("R007", "R008", "R009", "R010", "R011"):
+            assert rule_id in out
+        for rule_id in ("R012", "R013", "R014", "R015", "R016"):
             assert rule_id in out

@@ -130,16 +130,22 @@ class TestRegistry:
             "R009",
             "R010",
             "R011",
+            "R012",
+            "R013",
+            "R014",
+            "R015",
+            "R016",
         ]
 
     def test_metadata_is_complete(self):
         ids = [rule["id"] for rule in rule_metadata()]
         assert ids == sorted(ids)
-        assert {"R001", "R007", "R011"} <= set(ids)
+        assert {"R001", "R007", "R011", "R012", "R016"} <= set(ids)
         for rule in rule_metadata():
             assert rule["id"].startswith("R")
             assert rule["title"]
             assert rule["rationale"]
+            assert rule["category"] in ("per-file", "whole-program", "concurrency")
 
 
 class TestParsing:

@@ -48,9 +48,9 @@ def run_mix(serial: bool, **workload_overrides):
         ServerConfig(**IDENTITY_SERVER),
         instrumentation=instr,
     )
-    # run_workload drives scheduler.run itself; the wall guard lives in
-    # the scheduler API, so wrap via a bounded run of the same coroutine.
-    result = run_workload(scheduler, server, workload, serial=serial)
+    result = run_workload(
+        scheduler, server, workload, serial=serial, wall_guard_s=WALL_GUARD_S
+    )
     return result, instr.snapshot(), server
 
 
@@ -108,7 +108,9 @@ class TestDegradation:
             ServerConfig(max_sessions=2, admission_queue_depth=2),
             instrumentation=instr,
         )
-        result = run_workload(scheduler, server, workload)
+        result = run_workload(
+            scheduler, server, workload, wall_guard_s=WALL_GUARD_S
+        )
         assert result.rejected > 0
         assert len(result.outcomes) + result.rejected == 10
         report = build_slo_report(

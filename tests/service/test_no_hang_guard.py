@@ -1,0 +1,64 @@
+"""Meta-test: every scheduler run in the test/bench trees is bounded.
+
+A ``Scheduler.run`` without ``wall_guard_s`` turns any wedged task into
+a hung pytest process — the failure mode that cannot fail loudly.  The
+R015 fixtures in ``tests/analysis/test_async_rules.py`` are the spec
+for what counts as guarded; this test enforces the same contract over
+the real call sites in ``tests/service/`` and ``benchmarks/`` using the
+very async summaries the linter runs on, so the spec and the audit
+cannot drift apart.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.graph import summarize_module
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+AUDITED = ("tests/service", "benchmarks", "src/repro/service")
+
+
+def audited_files():
+    for rel in AUDITED:
+        yield from sorted((REPO_ROOT / rel).rglob("*.py"))
+
+
+def test_audited_trees_exist():
+    files = list(audited_files())
+    assert len(files) >= 10, files  # the audit has teeth
+
+
+def test_every_scheduler_run_passes_wall_guard_s():
+    unguarded = []
+    for path in audited_files():
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        summary = summarize_module(ModuleContext(rel, path.read_text()), rel)
+        assert summary.error is None, f"{rel}: {summary.error}"
+        for qual, fn in summary.functions.items():
+            for run in fn.async_info.runs:
+                if not run.has_guard:
+                    unguarded.append(f"{rel}:{run.line} ({qual})")
+    # The scheduler's own run() is the primitive being guarded, not a
+    # call site of it; everything else must pass wall_guard_s.
+    allowed = {u for u in unguarded if u.startswith("src/repro/service/scheduler.py")}
+    assert sorted(set(unguarded) - allowed) == []
+
+
+def test_every_run_workload_call_passes_wall_guard_s():
+    """run_workload forwards the guard; each call site must decide it
+    explicitly rather than silently inheriting an unbounded run."""
+    missing = []
+    for path in audited_files():
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        tree = ast.parse(path.read_text(), filename=rel)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if name != "run_workload":
+                continue
+            if not any(kw.arg == "wall_guard_s" for kw in node.keywords):
+                missing.append(f"{rel}:{node.lineno}")
+    assert missing == []
