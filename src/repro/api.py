@@ -31,7 +31,15 @@ import lives here, re-exported from the subsystem that owns it:
   (:class:`VirtualScheduler` deterministic, :class:`RealTimeScheduler`
   wall clock), the open-loop workload generator
   (:class:`WorkloadConfig`, :func:`run_workload`,
-  :func:`make_tenant_bank_provider`) and :func:`build_slo_report`.
+  :func:`make_tenant_bank_provider`) and :func:`build_slo_report`;
+* the challenge-binding protocol — :class:`ProtocolConfig`,
+  :class:`ProtocolProvisioner` (per-tenant nonces + commitment ledger),
+  :class:`ProtocolGate`/:class:`BindingReport` (what the streaming
+  verifier consults per clip), the :class:`BindingOutcome` vocabulary,
+  the pure derivation helpers (:func:`derive_schedule`,
+  :func:`derive_session_schedules`) and the
+  :func:`run_protocol_matrix` sweep showing what the layer adds over
+  the LOF.
 
 Importing from submodule paths keeps working, but only the names listed
 here are covered by the compatibility promise.
@@ -59,6 +67,13 @@ from .experiments.faultmatrix import (
     run_fault_matrix,
     simulate_faulted_session,
 )
+from .experiments.protocolmatrix import (
+    PROTOCOL_ROLES,
+    ProtocolCell,
+    ProtocolMatrixResult,
+    run_protocol_matrix,
+    simulate_protocol_session,
+)
 from .experiments.simulate import (
     simulate_adaptive_attack_session,
     simulate_attack_session,
@@ -78,6 +93,15 @@ from .obs import (
     render_json,
     render_prometheus,
 )
+from .protocol import (
+    BindingOutcome,
+    BindingReport,
+    ProtocolConfig,
+    ProtocolGate,
+    ProtocolProvisioner,
+    derive_schedule,
+    derive_session_schedules,
+)
 from .service import (
     RealTimeScheduler,
     SLOReport,
@@ -93,6 +117,8 @@ from .service import (
 
 __all__ = [
     "AttemptVerdict",
+    "BindingOutcome",
+    "BindingReport",
     "CallStatus",
     "ClipBatch",
     "ClipQuality",
@@ -115,7 +141,13 @@ __all__ = [
     "MetricsSnapshot",
     "PAPER_CONFIG",
     "PIPELINE_STAGES",
+    "PROTOCOL_ROLES",
     "PerfReport",
+    "ProtocolCell",
+    "ProtocolConfig",
+    "ProtocolGate",
+    "ProtocolMatrixResult",
+    "ProtocolProvisioner",
     "RealTimeScheduler",
     "SLOReport",
     "ServerConfig",
@@ -131,6 +163,8 @@ __all__ = [
     "VotingCombiner",
     "WorkloadConfig",
     "build_slo_report",
+    "derive_schedule",
+    "derive_session_schedules",
     "extract_features",
     "extract_features_batch",
     "make_tenant_bank_provider",
@@ -138,11 +172,13 @@ __all__ = [
     "render_json",
     "render_prometheus",
     "run_fault_matrix",
+    "run_protocol_matrix",
     "run_workload",
     "simulate_adaptive_attack_session",
     "simulate_attack_session",
     "simulate_faulted_session",
     "simulate_genuine_session",
+    "simulate_protocol_session",
     "simulate_replay_attack_session",
     "verify_clips",
 ]

@@ -3,6 +3,7 @@
 from .adaptive import AdaptiveLuminanceForger
 from .reenactment import ReenactmentAttacker
 from .replay import ReplayAttacker
+from .replayschedule import ReplayScheduleAttacker, StaleRelayAttacker
 from .target import TargetRecording
 from .virtualcam import VirtualCamera
 
@@ -10,6 +11,8 @@ __all__ = [
     "AdaptiveLuminanceForger",
     "ReenactmentAttacker",
     "ReplayAttacker",
+    "ReplayScheduleAttacker",
+    "StaleRelayAttacker",
     "TargetRecording",
     "VirtualCamera",
 ]

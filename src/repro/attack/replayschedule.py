@@ -1,0 +1,162 @@
+"""Attackers aimed specifically at the challenge-binding protocol.
+
+Two ways a recording attacker can try to survive nonce-derived
+challenges, both of which the binding layer (not the LOF) must catch:
+
+* :class:`ReplayScheduleAttacker` — plays back footage of the victim
+  genuinely answering an **earlier** session's schedule.  The luminance
+  response is perfectly genuine-shaped (it *was* genuine), so the LOF
+  has no handle on it; but the response peaks land at the *old*
+  schedule's times, which the verifier still remembers in its
+  commitment ledger (``REPLAY``).
+* :class:`StaleRelayAttacker` — the Sec. VIII-J adaptive forger run
+  through a relay whose reflection synthesis is slower than the
+  protocol's freshness window.  It answers the **current** schedule,
+  just too late to have been produced live (``STALE``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..screen.display import DELL_27_LED, ScreenSpec
+from ..vision.expression import ExpressionTrack
+from .adaptive import AdaptiveLuminanceForger
+from .reenactment import ReenactmentAttacker
+from .target import TargetRecording
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from ..protocol.schedule import DerivedSchedule
+    from ..video.frame import Frame
+
+__all__ = ["ReplayScheduleAttacker", "StaleRelayAttacker"]
+
+
+class ReplayScheduleAttacker(ReenactmentAttacker):
+    """Replays the victim's genuine response to a prior schedule.
+
+    The attacker recorded one of the victim's earlier calls.  The
+    footage carries the real screen-reflection response to that call's
+    challenges — piecewise steps of the facial illuminance at the old
+    schedule's times, shifted by the genuine response path delay.  The
+    attacker now pipes this footage through the virtual camera in a new
+    session: the reflections look flawless, but they answer yesterday's
+    nonce.
+
+    Parameters
+    ----------
+    target:
+        Victim recording being replayed (face identity + base track).
+    observed_schedules:
+        The challenge schedules of the session the footage was recorded
+        in — what the verifier committed to back then.
+    response_delay_s:
+        Genuine path delay baked into the recording (network + display
+        latency when the footage was shot).
+    start_offset_s:
+        Session warmup preceding the first recorded clip; absolute
+        challenge times are shifted by it (matching
+        :class:`~repro.chat.endpoints.DerivedMeteringBehavior`).
+    baseline_reflection_lux:
+        Mid-level screen reflection of the recorded scene; challenge
+        responses swing around it.
+    ambient_lux:
+        Steady ambient light of the recorded scene.
+    """
+
+    def __init__(
+        self,
+        target: TargetRecording,
+        observed_schedules: "Sequence[DerivedSchedule]",
+        response_delay_s: float = 0.4,
+        start_offset_s: float = 0.0,
+        baseline_reflection_lux: float = 60.0,
+        ambient_lux: float = 50.0,
+        driving: ExpressionTrack | None = None,
+        artifact_level: float = 0.012,
+        frame_size: tuple[int, int] = (96, 96),
+        seed: int = 100,
+    ) -> None:
+        if response_delay_s < 0:
+            raise ValueError("response_delay_s must be non-negative")
+        if start_offset_s < 0:
+            raise ValueError("start_offset_s must be non-negative")
+        if baseline_reflection_lux < 0:
+            raise ValueError("baseline_reflection_lux must be non-negative")
+        if ambient_lux < 0:
+            raise ValueError("ambient_lux must be non-negative")
+        super().__init__(
+            target=target,
+            driving=driving,
+            artifact_level=artifact_level,
+            frame_size=frame_size,
+            seed=seed,
+        )
+        self.observed_schedules = tuple(observed_schedules)
+        self.response_delay_s = response_delay_s
+        self.start_offset_s = start_offset_s
+        self.baseline_reflection_lux = baseline_reflection_lux
+        self.ambient_lux = ambient_lux
+        # Absolute (time, swing) events of the recorded response.  A
+        # challenge that pointed the verifier's meter at the bright zone
+        # darkened the transmitted video, so the recorded reflection
+        # stepped *down*; the dark zone stepped it up.
+        events: list[tuple[float, float]] = []
+        for schedule in self.observed_schedules:
+            base = start_offset_s + schedule.attempt_index * schedule.clip_duration_s
+            for challenge in schedule.challenges:
+                swing = 0.5 * challenge.delta_lux
+                events.append(
+                    (
+                        base + challenge.time_s + response_delay_s,
+                        swing if challenge.spot == "dark" else -swing,
+                    )
+                )
+        self._events = sorted(events)
+
+    def _illuminance(self, t: float, displayed: "Frame | None") -> float:
+        del displayed  # recorded footage; the live screen is irrelevant
+        level = self.baseline_reflection_lux
+        for event_time, swing in self._events:
+            if event_time <= t:
+                level = self.baseline_reflection_lux + swing
+            else:
+                break
+        return self.ambient_lux + max(level, 0.0)
+
+
+class StaleRelayAttacker(AdaptiveLuminanceForger):
+    """The adaptive forger behind a slow reflection-synthesis relay.
+
+    Identical physics to :class:`AdaptiveLuminanceForger` — it forges
+    the *correct* reflection for the current session's challenges — but
+    its processing pipeline is slower than the protocol's freshness
+    window, so every response peak arrives as a late echo of the live
+    schedule and the binding layer grades the clips ``STALE``.
+    """
+
+    def __init__(
+        self,
+        target: TargetRecording,
+        processing_delay_s: float = 4.0,
+        driving: ExpressionTrack | None = None,
+        artifact_level: float = 0.012,
+        frame_size: tuple[int, int] = (96, 96),
+        seed: int = 100,
+        mimic_screen: ScreenSpec = DELL_27_LED,
+        mimic_distance_m: float = 0.5,
+        ambient_lux: float = 50.0,
+    ) -> None:
+        super().__init__(
+            target=target,
+            processing_delay_s=processing_delay_s,
+            driving=driving,
+            artifact_level=artifact_level,
+            frame_size=frame_size,
+            seed=seed,
+            mimic_screen=mimic_screen,
+            mimic_distance_m=mimic_distance_m,
+            ambient_lux=ambient_lux,
+        )

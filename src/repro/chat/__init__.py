@@ -1,6 +1,7 @@
 """Video-chat integration: endpoints and the session loop (Fig. 4)."""
 
 from .endpoints import (
+    DerivedMeteringBehavior,
     GenuineProverEndpoint,
     MeteringBehavior,
     ProverEndpoint,
@@ -10,6 +11,7 @@ from .endpoints import (
 from .session import SessionRecord, VideoChatSession
 
 __all__ = [
+    "DerivedMeteringBehavior",
     "GenuineProverEndpoint",
     "MeteringBehavior",
     "ProverEndpoint",

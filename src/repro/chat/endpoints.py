@@ -18,12 +18,15 @@ chair — the attack module provides hostile implementations.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
 if TYPE_CHECKING:
+    from collections.abc import Sequence
+
     from ..core.challenge import ChallengeScheduler
+    from ..protocol.schedule import DerivedSchedule
 
 from ..camera.camera import Camera
 from ..camera.exposure import AutoExposureController
@@ -43,6 +46,7 @@ __all__ = [
     "GenuineProverEndpoint",
     "MeteringBehavior",
     "ScheduledMeteringBehavior",
+    "DerivedMeteringBehavior",
 ]
 
 
@@ -157,6 +161,43 @@ class ScheduledMeteringBehavior(MeteringBehavior):
         super().apply(meter, t)
 
 
+class DerivedMeteringBehavior(MeteringBehavior):
+    """Metering behaviour replaying a nonce-derived challenge schedule.
+
+    The protocol layer expands ``(tenant_key, nonce, attempt)`` into
+    per-clip challenge times and spot flips
+    (:func:`~repro.protocol.schedule.derive_schedule`); this behaviour
+    turns those clip-relative schedules into the absolute touch events
+    the verifier's camera executes.  ``start_offset_s`` is the session
+    warmup that precedes the first *recorded* clip — frame timestamps
+    include it, so schedule times must be shifted by it.
+    """
+
+    def __init__(
+        self,
+        bright_spot: tuple[float, float],
+        dark_spot: tuple[float, float],
+        schedules: "Sequence[DerivedSchedule]",
+        start_offset_s: float = 0.0,
+        face_spot: tuple[float, float] = (0.5, 0.45),
+    ) -> None:
+        if start_offset_s < 0:
+            raise ValueError("start_offset_s must be non-negative")
+        super().__init__(
+            bright_spot=bright_spot,
+            dark_spot=dark_spot,
+            face_spot=face_spot,
+            duration_s=1e-9,
+        )
+        spots = {"bright": bright_spot, "dark": dark_spot}
+        events: list[tuple[float, tuple[float, float]]] = []
+        for schedule in schedules:
+            base = start_offset_s + schedule.attempt_index * schedule.clip_duration_s
+            for challenge in schedule.challenges:
+                events.append((base + challenge.time_s, spots[challenge.spot]))
+        self.events = sorted(events)
+
+
 class VerifierEndpoint:
     """Alice: renders her own scene and produces the transmitted video."""
 
@@ -170,11 +211,16 @@ class VerifierEndpoint:
         camera: Camera | None = None,
         frame_size: tuple[int, int] = (64, 64),
         seed: int = 0,
+        handshake: dict | None = None,
     ) -> None:
         height, width = frame_size
         self.face = face
         self.expression = expression
         self.ambient = ambient
+        # Optional protocol handshake payload (session id + nonce hex,
+        # see repro.protocol.nonce.handshake_payload) riding on every
+        # transmitted frame's metadata, so the prover can ack the nonce.
+        self.handshake = handshake
         self.renderer = renderer or FaceRenderer(face, height=height, width=width, seed=seed)
         if metering is None:
             background = self.renderer.background
@@ -202,10 +248,13 @@ class VerifierEndpoint:
             ambient_lux=ambient_lux,
         )
         self.metering.apply(self.camera.meter, t)
+        metadata: dict = {"landmarks_truth": result.landmarks}
+        if self.handshake is not None:
+            metadata["handshake"] = dict(self.handshake)
         return self.camera.capture(
             result.radiance,
             timestamp=t,
-            metadata={"landmarks_truth": result.landmarks},
+            metadata=metadata,
         )
 
 
@@ -231,6 +280,7 @@ class GenuineProverEndpoint:
         lock_exposure_after_s: float = 1.5,
         orientation_wobble: float = 0.25,
         seed: int = 0,
+        on_handshake: Callable[[dict], str] | None = None,
     ) -> None:
         if viewing_distance_m <= 0:
             raise ValueError("viewing_distance_m must be positive")
@@ -268,6 +318,11 @@ class GenuineProverEndpoint:
         self.camera = camera
         self.lock_exposure_after_s = lock_exposure_after_s
         self._start_time: float | None = None
+        # Protocol handshake: when the displayed frame carries a
+        # handshake payload, answer it once (hex ack tag) and repeat the
+        # tag on every outgoing frame — individual frames may be lost.
+        self.on_handshake = on_handshake
+        self._ack: str | None = None
 
     def _orientation_gain(self, t: float) -> float:
         """Slowly-varying fraction of screen light the face catches."""
@@ -291,6 +346,14 @@ class GenuineProverEndpoint:
     def produce_frame(self, t: float, displayed: Frame | None) -> Frame:
         if self._start_time is None:
             self._start_time = t
+        if (
+            self.on_handshake is not None
+            and self._ack is None
+            and displayed is not None
+        ):
+            payload = displayed.metadata.get("handshake")
+            if payload is not None:
+                self._ack = self.on_handshake(payload)
         pose = self.expression.sample(t)
         ambient_lux = self.ambient.sample_scalar(t)
         screen_lux = self.screen_lux(displayed, t)
@@ -300,14 +363,17 @@ class GenuineProverEndpoint:
             ambient_lux=ambient_lux,
             screen_lux=screen_lux,
         )
+        metadata: dict = {
+            "landmarks_truth": result.landmarks,
+            "screen_lux": screen_lux,
+            "ambient_lux": ambient_lux,
+        }
+        if self._ack is not None:
+            metadata["ack"] = self._ack
         frame = self.camera.capture(
             result.radiance,
             timestamp=t,
-            metadata={
-                "landmarks_truth": result.landmarks,
-                "screen_lux": screen_lux,
-                "ambient_lux": ambient_lux,
-            },
+            metadata=metadata,
         )
         if (
             not self.camera.auto_exposure.locked

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands mirroring the library's main uses::
+Eleven subcommands mirroring the library's main uses::
 
     python -m repro demo                 # quick genuine-vs-attacker demo
     python -m repro verify --role attack # simulate + verify one session
@@ -10,6 +10,7 @@ Ten subcommands mirroring the library's main uses::
     python -m repro faults --jobs 2      # fault-severity robustness matrix
     python -m repro serve --sessions 8   # multi-tenant verification service
     python -m repro loadtest --json b.json  # deterministic open-loop load test
+    python -m repro protocol             # challenge-binding protocol demo
     python -m repro lint --format json   # reprolint static analysis
     python -m repro info                 # configuration + paper constants
 
@@ -300,6 +301,13 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return run_loadtest(args)
 
 
+def cmd_protocol(args: argparse.Namespace) -> int:
+    """Demo of the cryptographic challenge-binding protocol."""
+    from .protocol.cli import run_protocol
+
+    return run_protocol(args)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static determinism/contract analysis (reprolint) over the tree."""
     from .analysis.cli import run_lint
@@ -478,6 +486,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_loadtest_arguments(loadtest)
     loadtest.set_defaults(func=cmd_loadtest)
+
+    protocol = sub.add_parser(
+        "protocol",
+        help="challenge-binding protocol demo: nonce handshake, derived "
+        "schedules, and binding verdicts (--matrix for the full-stack sweep)",
+    )
+    from .protocol.cli import add_protocol_arguments
+
+    add_protocol_arguments(protocol)
+    protocol.set_defaults(func=cmd_protocol)
 
     lint = sub.add_parser(
         "lint",

@@ -45,16 +45,19 @@ class ChallengeQuality:
 def challenge_quality(
     transmitted_luminance: np.ndarray,
     config: DetectorConfig | None = None,
-    min_challenges: int = 2,
+    min_challenges: int | None = None,
 ) -> ChallengeQuality:
     """Grade the challenge content of one transmitted-luminance clip.
 
-    A clip is *sufficient* when it contains at least ``min_challenges``
-    significant changes inside the countable (guard-trimmed) window.
+    A clip is *sufficient* when it contains at least
+    ``config.min_challenges`` significant changes inside the countable
+    (guard-trimmed) window.  Passing ``min_challenges`` is shorthand for
+    ``config.with_overrides(min_challenges=...)`` — it routes through the
+    validated config copy, not around it.
     """
     config = config or DetectorConfig()
-    if min_challenges < 1:
-        raise ValueError("min_challenges must be >= 1")
+    if min_challenges is not None:
+        config = config.with_overrides(min_challenges=min_challenges)
     pre = preprocess(transmitted_luminance, config, config.peak_prominence_screen)
     clip_end = (pre.raw.size - 1) / config.sample_rate_hz
     times = pre.peak_times
@@ -67,7 +70,7 @@ def challenge_quality(
         challenge_count=int(times.size),
         mean_prominence=float(prominences.mean()) if prominences.size else 0.0,
         min_spacing_s=spacing,
-        sufficient=times.size >= min_challenges,
+        sufficient=times.size >= config.min_challenges,
     )
 
 
@@ -78,33 +81,38 @@ class ChallengeScheduler:
     Parameters
     ----------
     config:
-        Detection constants (window length, sampling rate).
-    min_challenges:
-        Challenges per window the scheduler guarantees.
-    min_gap_s:
-        Minimum spacing between scheduled challenges (must exceed the
-        smoothing chain's merge radius, ~4 s at 10 Hz).
+        Detection constants (window length, sampling rate, and the
+        ``min_challenges`` / ``min_gap_s`` schedule the scheduler
+        guarantees).
+    min_challenges, min_gap_s:
+        Optional overrides, routed through
+        :meth:`DetectorConfig.with_overrides` so they stay inside the
+        validated-config contract.
     """
 
     def __init__(
         self,
         config: DetectorConfig | None = None,
-        min_challenges: int = 2,
-        min_gap_s: float = 4.5,
+        min_challenges: int | None = None,
+        min_gap_s: float | None = None,
     ) -> None:
-        self.config = config or DetectorConfig()
-        if min_challenges < 1:
-            raise ValueError("min_challenges must be >= 1")
-        if min_gap_s <= 0:
-            raise ValueError("min_gap_s must be positive")
-        usable = self.config.clip_duration_s - self.config.boundary_guard_s
-        if min_challenges * min_gap_s > usable:
+        config = config or DetectorConfig()
+        overrides: dict[str, object] = {}
+        if min_challenges is not None:
+            overrides["min_challenges"] = min_challenges
+        if min_gap_s is not None:
+            overrides["min_gap_s"] = min_gap_s
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        usable = config.clip_duration_s - config.boundary_guard_s
+        if config.min_challenges * config.min_gap_s > usable:
             raise ValueError(
-                f"{min_challenges} challenges at {min_gap_s}s spacing do not "
-                f"fit the {usable:.1f}s usable window"
+                f"{config.min_challenges} challenges at {config.min_gap_s}s "
+                f"spacing do not fit the {usable:.1f}s usable window"
             )
-        self.min_challenges = min_challenges
-        self.min_gap_s = min_gap_s
+        self.min_challenges = config.min_challenges
+        self.min_gap_s = config.min_gap_s
         self._window_start: float | None = None
         self._issued: list[float] = []
 

@@ -99,6 +99,15 @@ class DetectorConfig:
         Streaming quality gate: minimum number of significant luminance
         changes the transmitted clip must contain for its attempt to be
         conclusive (no challenge issued means nothing to verify).
+    min_challenges:
+        Challenges the active scheduler guarantees per detection window,
+        and the count :func:`~repro.core.challenge.challenge_quality`
+        requires before grading a clip *sufficient*.  Also the number of
+        challenge times a protocol-derived schedule places per clip.
+    min_gap_s:
+        Minimum spacing between scheduled challenges.  Must exceed the
+        Sec. V smoothing chain's merge radius (~4 s at 10 Hz) or two
+        challenges collapse into one variance peak and are undercounted.
     """
 
     sample_rate_hz: float = 10.0
@@ -129,6 +138,9 @@ class DetectorConfig:
     gate_min_landmark_fraction: float = 0.5
     gate_max_frozen_fraction: float = 0.5
     gate_min_transmitted_changes: int = 1
+
+    min_challenges: int = 2
+    min_gap_s: float = 4.5
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0:
@@ -171,6 +183,15 @@ class DetectorConfig:
             raise ValueError("gate_max_frozen_fraction must lie in [0, 1]")
         if self.gate_min_transmitted_changes < 0:
             raise ValueError("gate_min_transmitted_changes must be >= 0")
+        if self.min_challenges < 1:
+            raise ValueError("min_challenges must be >= 1")
+        if self.min_gap_s <= 0:
+            raise ValueError("min_gap_s must be positive")
+        # Whether min_challenges * min_gap_s fits the usable window is
+        # checked where a schedule is actually built (ChallengeScheduler,
+        # protocol derivation): clip-duration sweeps legitimately build
+        # configs whose window is too short for the *default* challenge
+        # count and never schedule from them.
 
     @property
     def samples_per_clip(self) -> int:

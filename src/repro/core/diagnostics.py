@@ -91,7 +91,10 @@ def diagnose_clip(
     config = config or DetectorConfig()
     issues: list[ClipIssue] = []
 
-    quality = challenge_quality(transmitted_luminance, config, min_challenges)
+    quality = challenge_quality(
+        transmitted_luminance,
+        config.with_overrides(min_challenges=min_challenges),
+    )
     if quality.challenge_count == 0:
         issues.append(ClipIssue.NO_CHALLENGES)
     elif not quality.sufficient:

@@ -17,6 +17,18 @@ attacker, an alert will be sent").
 * ``state`` summarizes the call so far; ``on_alert`` fires once, the
   first time the vote crosses the attacker line.
 
+Challenge binding
+-----------------
+When a :class:`~repro.protocol.gate.ProtocolGate` is bound to the
+verifier (:meth:`StreamingVerifier.bind_protocol`), every completed
+clip's peak times are additionally checked against the session's
+nonce-derived challenge schedule.  A response that echoes a *prior*
+session's schedule grades the attempt ``REPLAY``; one that echoes the
+live schedule outside the freshness window grades ``STALE``.  Both are
+rejections in the vote — the LOF cannot produce them on its own,
+because a replayed genuine recording is a perfectly plausible response
+to *somebody's* challenges, just not to this session's.
+
 Quality gating
 --------------
 A live call rides a lossy channel: packet-loss bursts freeze the received
@@ -35,9 +47,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..protocol.gate import BindingReport, ProtocolGate
 
 from ..obs.instrument import Instrumentation
 from ..video.frame import Frame
@@ -69,14 +84,18 @@ class CallStatus(enum.Enum):
     SUSPICIOUS = "suspicious"  # rejections present but below the vote line
     ATTACKER = "attacker"  # voting rule crossed; alert raised
     INCONCLUSIVE = "inconclusive"  # attempts exist but none carried evidence
+    REPLAY = "replay"  # condemned, dominated by replayed-schedule bindings
+    STALE = "stale"  # condemned, dominated by out-of-window responses
 
 
 class AttemptVerdict(enum.Enum):
-    """Per-clip outcome after quality gating."""
+    """Per-clip outcome after quality gating and challenge binding."""
 
     ACCEPT = "accept"
     REJECT = "reject"
     INCONCLUSIVE = "inconclusive"
+    REPLAY = "replay"  # response echoes a prior session's schedule
+    STALE = "stale"  # response echoes this schedule, too late to be live
 
 
 class QualityIssue(enum.Enum):
@@ -87,6 +106,8 @@ class QualityIssue(enum.Enum):
     NO_CHALLENGES = "transmitted clip carried no significant luminance changes"
     CHALLENGE_OBSCURED = "a challenge's response window was almost entirely stale"
     SPURIOUS_RECEIVED_CHANGE = "an unmatched received change sits on stale samples"
+    CHALLENGE_UNDELIVERED = "transmitted clip never carried the committed schedule"
+    NO_RESPONSE_EVIDENCE = "no received changes existed for the binding check"
 
 
 # A transmitted challenge is unobservable when the received samples
@@ -107,6 +128,42 @@ _OBSCURED_STALE_FRACTION = 0.5
 _SPURIOUS_STALE_FRACTION = 0.2
 _SPURIOUS_WINDOW_BACK_S = 1.5
 _SPURIOUS_WINDOW_FWD_S = 0.5
+
+
+def _condemned_status(verdicts: list[AttemptVerdict], reject_votes: int) -> CallStatus:
+    """Flavor of a crossed vote line: plain attacker, replay, or stale.
+
+    When protocol rejections (``REPLAY`` / ``STALE``) supplied at least
+    half of the condemning votes, the status names the protocol finding
+    — that is the attribution the binding layer exists to provide.  The
+    majority flavor within the protocol rejections wins; replay on a tie
+    (the graver accusation).
+    """
+    replay = sum(1 for v in verdicts if v is AttemptVerdict.REPLAY)
+    stale = sum(1 for v in verdicts if v is AttemptVerdict.STALE)
+    if replay + stale and (replay + stale) * 2 >= reject_votes:
+        return CallStatus.REPLAY if replay >= stale else CallStatus.STALE
+    return CallStatus.ATTACKER
+
+
+def _gated_protocol_status(attempts: list["GatedAttempt"]) -> CallStatus:
+    """Status of a call whose vote produced no conclusive verdict.
+
+    Ordinarily INCONCLUSIVE, but when at least half of the attempts
+    carry a condemning binding — the response provably echoed a
+    committed schedule too late, or a prior session's schedule — the
+    protocol layer refines the label even though the clips were
+    quality-gated.  This never flips an acceptance (the call was not
+    going to be accepted anyway); it only attributes the failure.
+    """
+    from ..protocol.commitment import BindingOutcome
+
+    outcomes = [a.binding.outcome for a in attempts if a.binding is not None]
+    replay = sum(1 for o in outcomes if o is BindingOutcome.REPLAY)
+    stale = sum(1 for o in outcomes if o is BindingOutcome.STALE)
+    if replay + stale and (replay + stale) * 2 >= len(attempts):
+        return CallStatus.REPLAY if replay >= stale else CallStatus.STALE
+    return CallStatus.INCONCLUSIVE
 
 
 def _window_stale_fraction(
@@ -139,12 +196,24 @@ class ClipQuality:
         return not self.issues
 
 
+#: Attempt verdicts that count as rejections in the vote.
+_REJECTING_VERDICTS = frozenset(
+    {AttemptVerdict.REJECT, AttemptVerdict.REPLAY, AttemptVerdict.STALE}
+)
+
+#: Statuses that condemn the peer and fire ``on_alert``.
+_CONDEMNED_STATUSES = frozenset(
+    {CallStatus.ATTACKER, CallStatus.REPLAY, CallStatus.STALE}
+)
+
+
 @dataclasses.dataclass(frozen=True)
 class GatedAttempt:
-    """One detection attempt plus its quality grade."""
+    """One detection attempt plus its quality grade and binding."""
 
     result: DetectionResult
     quality: ClipQuality
+    binding: "BindingReport | None" = None
 
     @property
     def conclusive(self) -> bool:
@@ -154,6 +223,15 @@ class GatedAttempt:
     def verdict(self) -> AttemptVerdict:
         if not self.quality.conclusive:
             return AttemptVerdict.INCONCLUSIVE
+        if self.binding is not None:
+            from ..protocol.commitment import BindingOutcome
+
+            if self.binding.outcome is BindingOutcome.REPLAY:
+                return AttemptVerdict.REPLAY
+            if self.binding.outcome is BindingOutcome.STALE:
+                return AttemptVerdict.STALE
+            if self.binding.enforced:
+                return AttemptVerdict.REJECT
         return AttemptVerdict.REJECT if self.result.rejected else AttemptVerdict.ACCEPT
 
 
@@ -238,8 +316,23 @@ class StreamingVerifier:
         self._clip_frozen = 0
         self._attempts: list[GatedAttempt] = []
         self._alerted = False
+        self._protocol_gate: ProtocolGate | None = None
 
     # ------------------------------------------------------------------
+
+    def bind_protocol(self, gate: "ProtocolGate | None") -> None:
+        """Attach (or detach) this session's challenge-binding gate.
+
+        Once bound, every completed clip's peak times are graded against
+        the gate's nonce-derived schedule and the attempt verdict gains
+        the ``REPLAY`` / ``STALE`` vocabulary.  With no gate bound the
+        verifier behaves exactly as before — bit for bit.
+        """
+        self._protocol_gate = gate
+
+    @property
+    def protocol_gate(self) -> "ProtocolGate | None":
+        return self._protocol_gate
 
     def push(self, transmitted: Frame, received: Frame) -> GatedAttempt | None:
         """Feed one tick's frame pair; returns the fresh gated attempt
@@ -310,11 +403,24 @@ class StreamingVerifier:
         instr = self.instrumentation
         with instr.span("streaming.attempt", stage="verdict"):
             result = self.detector.verify_clip(t_lum, r_lum, instrumentation=instr)
+            binding = None
+            if self._protocol_gate is not None:
+                extraction = result.extraction
+                binding = self._protocol_gate.grade(
+                    extraction.transmitted.peak_times if extraction else (),
+                    extraction.received.peak_times if extraction else (),
+                )
             attempt = GatedAttempt(
                 result=result,
                 quality=self._grade(
-                    result, hits=hits, frozen=frozen, samples=samples, stale=stale
+                    result,
+                    hits=hits,
+                    frozen=frozen,
+                    samples=samples,
+                    stale=stale,
+                    binding=binding,
                 ),
+                binding=binding,
             )
         instr.count("streaming_attempts_total", verdict=attempt.verdict.value)
         for issue in attempt.quality.issues:
@@ -322,7 +428,7 @@ class StreamingVerifier:
         self._attempts.append(attempt)
         if self.on_alert is not None and not self._alerted:
             state = self.state
-            if state.status is CallStatus.ATTACKER:
+            if state.status in _CONDEMNED_STATUSES:
                 self._alerted = True
                 instr.count("streaming_alerts_total")
                 self.on_alert(state)
@@ -335,6 +441,7 @@ class StreamingVerifier:
         frozen: int,
         samples: int,
         stale: np.ndarray,
+        binding: "BindingReport | None" = None,
     ) -> ClipQuality:
         """Score the clip's evidence against the config's gate thresholds."""
         config = self.config
@@ -352,6 +459,21 @@ class StreamingVerifier:
         if t_changes < config.gate_min_transmitted_changes:
             issues.append(QualityIssue.NO_CHALLENGES)
         issues.extend(self._stale_peak_issues(extraction, stale, samples))
+        if binding is not None:
+            from ..protocol.commitment import BindingOutcome
+
+            # A schedule that never reached the transmitted video is the
+            # verifier's own fault — the binding cannot judge the peer,
+            # so the clip must not vote (same philosophy as the quality
+            # gate proper).  A response with no peaks on a *clean*
+            # channel, by contrast, is the strongest attack evidence the
+            # paper has — only when the clip is already gated for
+            # channel damage does the missing evidence become a quality
+            # explanation rather than an indictment.
+            if binding.outcome is BindingOutcome.UNDELIVERED:
+                issues.append(QualityIssue.CHALLENGE_UNDELIVERED)
+            elif binding.outcome is BindingOutcome.NO_EVIDENCE and issues:
+                issues.append(QualityIssue.NO_RESPONSE_EVIDENCE)
         return ClipQuality(
             landmark_hit_fraction=hit_fraction,
             frozen_fraction=frozen_fraction,
@@ -412,13 +534,15 @@ class StreamingVerifier:
                 attempts=(),
                 verdict=None,
             )
-        verdict = self.combiner.combine_conclusive(
-            [a.result for a in attempts], [a.conclusive for a in attempts]
+        verdicts = [a.verdict for a in attempts]
+        verdict = self.combiner.combine_conclusive_bools(
+            [v in _REJECTING_VERDICTS for v in verdicts],
+            [a.conclusive for a in attempts],
         )
         if verdict is None:
-            status = CallStatus.INCONCLUSIVE
+            status = _gated_protocol_status(attempts)
         elif verdict.is_attacker:
-            status = CallStatus.ATTACKER
+            status = _condemned_status(verdicts, verdict.reject_votes)
         elif verdict.reject_votes > 0:
             status = CallStatus.SUSPICIOUS
         else:
@@ -462,4 +586,5 @@ class StreamingVerifier:
         self._clip_frozen = 0
         self._attempts.clear()
         self._alerted = False
+        self._protocol_gate = None
         self.landmark_detector.reset()

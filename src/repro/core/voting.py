@@ -74,6 +74,25 @@ class VotingCombiner:
             return None
         return self.combine(kept)
 
+    def combine_conclusive_bools(
+        self,
+        rejections: Sequence[bool],
+        conclusive: Sequence[bool],
+    ) -> Verdict | None:
+        """:meth:`combine_conclusive` over raw rejection booleans.
+
+        The streaming gate votes on *effective* rejections — an attempt
+        can reject for reasons the LOF result alone does not carry
+        (protocol ``REPLAY`` / ``STALE`` bindings) — so the rule needs a
+        boolean form with the same inconclusive-exclusion semantics.
+        """
+        if len(rejections) != len(conclusive):
+            raise ValueError("rejections and conclusive must have equal length")
+        kept = [bool(r) for r, ok in zip(rejections, conclusive) if ok]
+        if not kept:
+            return None
+        return self.combine_bools(kept)
+
     def combine_bools(self, rejections: Sequence[bool]) -> Verdict:
         """Same rule over raw per-attempt rejection booleans."""
         if not rejections:

@@ -1,0 +1,345 @@
+"""Protocol matrix: what the nonce-binding layer adds over the LOF.
+
+The motivating gap: a recording of the victim *genuinely answering an
+earlier call* carries a flawless luminance response — the LOF alone
+grades it live.  This sweep runs each prover role through the full chat
+stack twice, with the challenge-binding protocol off and on, so the two
+columns show exactly which verdicts the cryptographic layer changes:
+
+========  ==================  ============================
+role      protocol off        protocol on
+========  ==================  ============================
+genuine   LIVE                LIVE (binding grades BOUND)
+replay    LIVE  *(the gap)*   REPLAY
+stale     ATTACKER            STALE (attributed)
+attack    ATTACKER            ATTACKER
+========  ==================  ============================
+
+Every cell is a self-contained seeded task (the
+:mod:`~repro.experiments.faultmatrix` pattern), so ``engine(jobs=N)``
+is bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..attack.reenactment import ReenactmentAttacker
+from ..attack.replayschedule import ReplayScheduleAttacker, StaleRelayAttacker
+from ..attack.target import TargetRecording
+from ..chat.endpoints import DerivedMeteringBehavior
+from ..chat.session import SessionRecord, VideoChatSession
+from ..core.config import DetectorConfig
+from ..core.detector import LivenessDetector
+from ..core.seeding import spawn_seeds
+from ..core.streaming import StreamingVerifier
+from ..engine import ExecutionEngine, task_rng
+from ..obs.instrument import Instrumentation
+from ..protocol import ProtocolConfig, ProtocolProvisioner
+from ..protocol.gate import ProtocolGate
+from ..protocol.nonce import ack_tag, handshake_payload
+from .faultmatrix import _enrollment_bank
+from .profiles import DEFAULT_ENVIRONMENT, Environment, UserProfile
+from .runner import _map
+from .simulate import (
+    build_genuine_prover,
+    build_links,
+    build_verifier,
+    default_user,
+)
+
+__all__ = [
+    "PROTOCOL_ROLES",
+    "ProtocolCell",
+    "ProtocolMatrixResult",
+    "run_protocol_matrix",
+    "simulate_protocol_session",
+]
+
+PROTOCOL_ROLES = ("genuine", "replay", "stale", "attack")
+
+#: Deployment secret of the simulated verifier service.  Any fixed
+#: string works — both call ends and the grader derive from it.
+_EXPERIMENT_SECRET = "repro-protocol-matrix"
+
+
+def _build_protocol_prover(
+    role: str,
+    gate: ProtocolGate,
+    prior: ProtocolGate | None,
+    clips: int,
+    warmup_s: float,
+    user: UserProfile,
+    env: Environment,
+    seed: int,
+):
+    """The untrusted endpoint for one cell role.
+
+    ``replay`` needs the *prior* session's gate (the schedules the
+    recorded footage answered); everyone else plays against the live
+    session only.
+    """
+    if role == "genuine":
+        prover = build_genuine_prover(user, env, seed)
+        key, nonce = gate.tenant_key, gate.nonce
+        prover.on_handshake = lambda payload: ack_tag(
+            key, bytes.fromhex(payload["nonce"])
+        ).hex()
+        return prover
+    s_target, s_attacker = spawn_seeds(seed, 2)
+    target = TargetRecording(victim=user.face, seed=s_target)
+    if role == "replay":
+        observed = prior if prior is not None else gate
+        return ReplayScheduleAttacker(
+            target=target,
+            observed_schedules=observed.schedules(clips),
+            start_offset_s=warmup_s,
+            frame_size=env.frame_size,
+            seed=s_attacker,
+        )
+    if role == "stale":
+        return StaleRelayAttacker(
+            target=target,
+            frame_size=env.frame_size,
+            seed=s_attacker,
+            mimic_screen=env.screen,
+            mimic_distance_m=env.viewing_distance_m,
+            ambient_lux=env.prover_ambient_lux,
+        )
+    if role == "attack":
+        return ReenactmentAttacker(
+            target=target,
+            artifact_level=0.012,
+            frame_size=env.frame_size,
+            seed=s_attacker,
+        )
+    raise ValueError(f"unknown role {role!r} (expected one of {PROTOCOL_ROLES})")
+
+
+def simulate_protocol_session(
+    role: str,
+    gate: ProtocolGate,
+    clips: int = 2,
+    seed: int = 0,
+    prior: ProtocolGate | None = None,
+    env: Environment | None = None,
+    user: UserProfile | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> SessionRecord:
+    """One chat session whose verifier drives the *derived* schedule.
+
+    The verifier's metering replays ``gate``'s nonce-derived challenge
+    times (:class:`~repro.chat.endpoints.DerivedMeteringBehavior`) and
+    its frames carry the handshake payload; the prover is built per
+    ``role``.  The recording is what a
+    :class:`~repro.core.streaming.StreamingVerifier` with the same gate
+    bound would observe.
+    """
+    env = env or DEFAULT_ENVIRONMENT
+    user = user or default_user()
+    s_prover, s_verifier, s_links = spawn_seeds(seed, 3)
+    verifier = build_verifier(env, s_verifier)
+    warmup_s = 2.0  # VideoChatSession default; schedule times shift by it
+    background = verifier.renderer.background
+    verifier.metering = DerivedMeteringBehavior(
+        bright_spot=background.bright_spot,
+        dark_spot=background.dark_spot,
+        schedules=gate.schedules(clips),
+        start_offset_s=warmup_s,
+    )
+    verifier.handshake = handshake_payload(gate.session_id, gate.nonce)
+    prover = _build_protocol_prover(
+        role, gate, prior, clips, warmup_s, user, env, s_prover
+    )
+    uplink, downlink = build_links(env, s_links, instrumentation)
+    session = VideoChatSession(
+        verifier=verifier,
+        prover=prover,
+        uplink=uplink,
+        downlink=downlink,
+        fps=env.fps,
+        warmup_s=warmup_s,
+        instrumentation=instrumentation,
+    )
+    return session.run(clips * gate.config.clip_duration_s)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolCell:
+    """Aggregate behaviour of one (role, protocol on/off) grid cell."""
+
+    role: str
+    protocol: bool
+    sessions: int
+    statuses: tuple[str, ...]  # final CallStatus.value per session
+    bindings: dict[str, int]  # BindingOutcome.value -> clips (on-cells)
+    acks_ok: int  # sessions whose prover answered the handshake
+
+    @property
+    def condemned_fraction(self) -> float:
+        condemned = sum(
+            s in ("attacker", "replay", "stale") for s in self.statuses
+        )
+        return condemned / self.sessions if self.sessions else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolMatrixResult:
+    """The full role × protocol matrix."""
+
+    roles: tuple[str, ...]
+    cells: tuple[ProtocolCell, ...]
+
+    def cell(self, role: str, protocol: bool) -> ProtocolCell:
+        for cell in self.cells:
+            if cell.role == role and cell.protocol == protocol:
+                return cell
+        raise KeyError(f"no cell for role={role!r}, protocol={protocol}")
+
+    def lines(self) -> list[str]:
+        out = [
+            f"{'role':>8s} {'protocol':>9s} {'condemned':>10s} "
+            f"{'acks':>5s}  statuses / bindings"
+        ]
+        for c in self.cells:
+            bindings = " ".join(
+                f"{name}={count}" for name, count in sorted(c.bindings.items())
+            )
+            tail = ",".join(c.statuses) + (f"  [{bindings}]" if bindings else "")
+            out.append(
+                f"{c.role:>8s} {'on' if c.protocol else 'off':>9s} "
+                f"{c.condemned_fraction:10.2f} {c.acks_ok:5d}  {tail}"
+            )
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+def _protocol_cell_task(payload: tuple) -> dict:
+    """One grid cell (module-level and self-seeded: picklable,
+    bit-identical on any worker count).
+
+    Each session provisions a *prior* gate first (the tenant's previous
+    call — what a recording attacker observed and what the verifier's
+    ledger remembers) and then the live gate, mirroring the service's
+    submit-order ledger discipline.
+    """
+    (bank, config, protocol_config, role, use_protocol, sessions,
+     clips, seed, env, user, r_idx, p_idx) = payload
+    detector = LivenessDetector(config).fit(bank)
+    provisioner = ProtocolProvisioner(
+        _EXPERIMENT_SECRET, config=config, protocol=protocol_config
+    )
+    statuses: list[str] = []
+    bindings: dict[str, int] = {}
+    acks_ok = 0
+    for k in range(sessions):
+        # p_idx is deliberately absent from the seed chain: the off and
+        # on columns replay the *same* sessions, so any verdict
+        # difference between them is the binding layer's doing.
+        session_seed = int(task_rng(seed, r_idx, 7, k).integers(0, 2**31 - 1))
+        tenant = f"cell-{r_idx}"
+        prior = provisioner.provision(tenant, f"prior-{k:03d}")
+        gate = provisioner.provision(tenant, f"live-{k:03d}")
+        record = simulate_protocol_session(
+            role=role,
+            gate=gate,
+            clips=clips,
+            seed=session_seed,
+            prior=prior,
+            env=env,
+            user=user,
+        )
+        streaming = StreamingVerifier(detector)
+        if use_protocol:
+            streaming.bind_protocol(gate)
+        acked = False
+        for t_frame, r_frame in zip(record.transmitted, record.received):
+            ack = r_frame.metadata.get("ack")
+            if use_protocol and not acked and ack is not None:
+                acked = gate.note_ack(ack)
+            streaming.push(t_frame, r_frame)
+        statuses.append(streaming.state.status.value)
+        acks_ok += int(acked)
+        for attempt in streaming.gated_attempts:
+            if attempt.binding is not None:
+                name = attempt.binding.outcome.value
+                bindings[name] = bindings.get(name, 0) + 1
+    return {
+        "role": role,
+        "protocol": use_protocol,
+        "sessions": sessions,
+        "statuses": tuple(statuses),
+        "bindings": bindings,
+        "acks_ok": acks_ok,
+    }
+
+
+def run_protocol_matrix(
+    roles: Sequence[str] = PROTOCOL_ROLES,
+    sessions_per_cell: int = 2,
+    clips: int = 2,
+    enroll_sessions: int = 8,
+    config: DetectorConfig | None = None,
+    protocol: ProtocolConfig | None = None,
+    env: Environment | None = None,
+    user: UserProfile | None = None,
+    seed: int = 211,
+    engine: ExecutionEngine | None = None,
+) -> ProtocolMatrixResult:
+    """Sweep role × protocol-on/off through the gated streaming verifier.
+
+    Enrollment happens on the clean passive channel (the same bank the
+    fault matrix trains from); each cell then replays
+    ``sessions_per_cell`` protocol-driven calls against that model.
+    """
+    config = config or DetectorConfig()
+    protocol = protocol or ProtocolConfig()
+    env = env or DEFAULT_ENVIRONMENT
+    user = user or default_user()
+    roles = tuple(roles)
+    if sessions_per_cell < 1:
+        raise ValueError("sessions_per_cell must be >= 1")
+    if not 1 <= clips <= protocol.commit_attempts:
+        raise ValueError(
+            f"clips must lie in [1, commit_attempts={protocol.commit_attempts}]"
+        )
+    unknown = [r for r in roles if r not in PROTOCOL_ROLES]
+    if unknown:
+        raise ValueError(f"unknown roles {unknown!r} (expected {PROTOCOL_ROLES})")
+
+    bank = _enrollment_bank(config, env, user, enroll_sessions, seed, engine)
+    payloads = [
+        (bank, config, protocol, role, use_protocol, sessions_per_cell,
+         clips, seed, env, user, r_idx, p_idx)
+        for r_idx, role in enumerate(roles)
+        for p_idx, use_protocol in enumerate((False, True))
+    ]
+    rows = _map(engine, _protocol_cell_task, payloads, stage="protocolcells")
+
+    cells = [
+        ProtocolCell(
+            role=row["role"],
+            protocol=row["protocol"],
+            sessions=row["sessions"],
+            statuses=row["statuses"],
+            bindings=row["bindings"],
+            acks_ok=row["acks_ok"],
+        )
+        for row in rows
+    ]
+    if engine is not None:
+        instr = engine.instrumentation
+        instr.count("protocol_matrix_sessions", sum(c.sessions for c in cells))
+        instr.count(
+            "protocol_matrix_condemned",
+            sum(
+                sum(s in ("attacker", "replay", "stale") for s in c.statuses)
+                for c in cells
+            ),
+        )
+    return ProtocolMatrixResult(roles=roles, cells=tuple(cells))

@@ -1,0 +1,68 @@
+"""Cryptographic challenge-response binding for the active challenge.
+
+The luminance challenge of the base system is unauthenticated: the
+verifier's metering touches happen whenever they happen, and nothing
+ties the *response* on the received video to *this* session.  An
+attacker who recorded one genuine call can replay the footage — the
+reflection pattern is perfectly plausible, just bound to yesterday's
+challenges — and the LOF cannot tell (Face Flashing, Tang et al., makes
+the case for nonce-derived light challenges).
+
+This package closes that gap end to end:
+
+* :mod:`~repro.protocol.nonce` — the HMAC-SHA256 key hierarchy
+  (tenant key, session nonce, ack tags);
+* :mod:`~repro.protocol.schedule` — deterministic expansion of
+  ``(key, nonce, attempt)`` into challenge times / spot flips /
+  brightness deltas on the dyadic time grid;
+* :mod:`~repro.protocol.commitment` — the freshness-window binding
+  check (``BOUND`` / ``STALE`` / ``REPLAY`` / ``UNBOUND``);
+* :mod:`~repro.protocol.gate` — the per-session
+  :class:`ProtocolGate` the streaming verifier consults per clip;
+* :mod:`~repro.protocol.provision` — per-tenant nonce issuance and the
+  bounded commitment ledger the service layer uses.
+"""
+
+from .commitment import (
+    BindingOutcome,
+    ChallengeCommitment,
+    ScheduleMatch,
+    classify_binding,
+    match_schedule,
+)
+from .gate import BindingReport, ProtocolGate
+from .nonce import (
+    ack_tag,
+    derive_session_nonce,
+    derive_tenant_key,
+    handshake_payload,
+    verify_ack,
+)
+from .provision import ProtocolProvisioner, derive_session_schedules
+from .schedule import (
+    DerivedChallenge,
+    DerivedSchedule,
+    ProtocolConfig,
+    derive_schedule,
+)
+
+__all__ = [
+    "BindingOutcome",
+    "BindingReport",
+    "ChallengeCommitment",
+    "DerivedChallenge",
+    "DerivedSchedule",
+    "ProtocolConfig",
+    "ProtocolGate",
+    "ProtocolProvisioner",
+    "ScheduleMatch",
+    "ack_tag",
+    "classify_binding",
+    "derive_schedule",
+    "derive_session_nonce",
+    "derive_session_schedules",
+    "derive_tenant_key",
+    "handshake_payload",
+    "match_schedule",
+    "verify_ack",
+]

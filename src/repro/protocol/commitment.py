@@ -1,0 +1,280 @@
+"""Commitments and the binding check: is this response *fresh*?
+
+A :class:`ChallengeCommitment` is the verifier's record of one schedule
+it issued.  After each clip, the received signal's peaks are checked
+against the commitment for the current attempt (and against the recent
+prior commitments of the same tenant), yielding a
+:class:`BindingOutcome` that the streaming verdict gate folds into the
+attempt classification:
+
+``BOUND``
+    Received peaks echo the *current* schedule within the freshness
+    window — the response could only have been produced live.
+``STALE``
+    Peaks echo the current schedule, but too late: consistent with a
+    relay that re-synthesizes the reflection with processing delay
+    (Sec. VIII-J's strong attacker run through extra latency).
+``REPLAY``
+    Peaks echo a *prior* session's schedule: recorded footage of an
+    earlier call played back.  The LOF alone cannot see this — the
+    replayed signal is a perfectly plausible genuine response, just to
+    yesterday's challenges.
+``UNBOUND``
+    Peaks exist but match no known schedule; the ordinary LOF path is
+    the authority (plain reenactment lands here).
+``NO_EVIDENCE``
+    No received peaks to check — the quality gate's problem, not the
+    protocol's.
+
+Lag handling: both signals ride the Sec. V smoothing chain, whose group
+delay (~1.5-2 s) applies to transmitted and received alike.  The checker
+therefore first measures the schedule -> transmitted-peak lag on the
+verifier's *own* video (which an attacker cannot influence) and uses it
+as the zero point for response lags, so the freshness window measures
+pure path delay rather than filter delay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable, Sequence
+
+from .schedule import DerivedSchedule, ProtocolConfig
+
+__all__ = [
+    "BindingOutcome",
+    "ChallengeCommitment",
+    "ScheduleMatch",
+    "classify_binding",
+    "match_schedule",
+]
+
+#: Clock-skew allowance: a response may lead the expected time by this
+#: much before it stops counting as a match candidate (two endpoints'
+#: sample clocks drift a few hundred ms over a call).
+_SKEW_TOLERANCE_S = 1.0
+
+#: A response peak needs about this much clip left after it to form at
+#: all (the smoothing chain truncates at the boundary).  Expected
+#: responses landing beyond ``clip_duration - margin`` are unobservable.
+_OBSERVABLE_MARGIN_S = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ChallengeCommitment:
+    """One issued schedule, as the verifier remembers it."""
+
+    tenant_id: str
+    session_id: str
+    schedule: DerivedSchedule
+
+    @property
+    def attempt_index(self) -> int:
+        return self.schedule.attempt_index
+
+
+class BindingOutcome(enum.Enum):
+    """How a clip's response relates to the issued schedules."""
+
+    BOUND = "bound"
+    STALE = "stale"
+    REPLAY = "replay"
+    UNBOUND = "unbound"
+    NO_EVIDENCE = "no_evidence"
+    UNDELIVERED = "undelivered"  # the challenges never made it out
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleMatch:
+    """Best alignment of observed peaks against one schedule."""
+
+    fraction: float  # matched challenges / *observable* scheduled challenges
+    lag_s: float  # the common lag achieving it
+    residual_s: float = 0.0  # mean |observed - (expected + lag)| of matches
+    matched: int = 0  # absolute number of matched challenges
+
+    @property
+    def key(self) -> tuple[int, float, float, float]:
+        """Sort key: more challenges matched, then a *tighter* fit.
+
+        The absolute matched count leads: a two-challenge echo always
+        outranks a single-peak coincidence, even when the observable
+        window shrank the coincidence's denominator to fraction 1.0.
+        The residual term then tells an exact echo (a replayed recording
+        answers its own schedule with sub-sample alignment) from a
+        coincidental gap collision, whose per-challenge errors spread
+        over the whole tolerance band.  Lag magnitude only breaks exact
+        ties.
+        """
+        return (self.matched, self.fraction, -self.residual_s, -abs(self.lag_s))
+
+
+_NO_MATCH = ScheduleMatch(
+    fraction=0.0, lag_s=0.0, residual_s=float("inf"), matched=0
+)
+
+
+def match_schedule(
+    expected_times: Sequence[float],
+    observed_times: Sequence[float],
+    tolerance_s: float,
+    lag_lo_s: float,
+    lag_hi_s: float,
+    observable_end_s: float | None = None,
+) -> ScheduleMatch:
+    """Best single-lag alignment of observed peaks to expected times.
+
+    Every (observed - expected) difference inside ``[lag_lo, lag_hi]``
+    is a candidate common lag; for each, an expected time counts as
+    matched when some observed peak lies within ``tolerance_s`` of
+    ``expected + lag``.  Candidates are scanned in sorted order and ties
+    resolve by :attr:`ScheduleMatch.key`, so the result is a pure
+    function of its inputs.
+
+    ``observable_end_s`` (used for the stale band, where large lags push
+    responses off the end of the clip) removes an expected time from a
+    candidate's *denominator* when ``expected + lag`` falls beyond it:
+    evidence that physically cannot be inside the clip is not counted as
+    missing.
+    """
+    if not expected_times or not observed_times:
+        return _NO_MATCH
+    candidates = sorted(
+        {
+            o - e
+            for e in expected_times
+            for o in observed_times
+            if lag_lo_s <= o - e <= lag_hi_s
+        },
+        key=lambda lag: (abs(lag), lag),
+    )
+    best = _NO_MATCH
+    for lag in candidates:
+        included = [
+            e
+            for e in expected_times
+            if observable_end_s is None or e + lag <= observable_end_s
+        ]
+        if not included:
+            continue
+        errors = []
+        for e in included:
+            err = min(abs(o - (e + lag)) for o in observed_times)
+            if err <= tolerance_s:
+                errors.append(err)
+        if not errors:
+            continue
+        candidate = ScheduleMatch(
+            fraction=len(errors) / len(included),
+            lag_s=lag,
+            residual_s=sum(errors) / len(errors),
+            matched=len(errors),
+        )
+        if candidate.key > best.key:
+            best = candidate
+    return best
+
+
+def classify_binding(
+    current: DerivedSchedule,
+    priors: Iterable[DerivedSchedule],
+    transmitted_peak_times: Sequence[float],
+    received_peak_times: Sequence[float],
+    tolerance_s: float,
+    protocol: ProtocolConfig,
+) -> tuple[BindingOutcome, ScheduleMatch]:
+    """Classify one clip's response against the issued schedules.
+
+    ``transmitted_peak_times`` / ``received_peak_times`` are the
+    clip-relative peak times the feature extractor already computes.
+    Returns the outcome plus the match that decided it (its ``lag_s`` is
+    net of the transmitted signal's own chain delay).
+    """
+    # Step 1: did the challenges actually go out?  The verifier checks
+    # its own transmitted video against the schedule; the measured lag
+    # is the smoothing chain's group delay and becomes the zero point
+    # for response lags.
+    tx = match_schedule(
+        current.times,
+        transmitted_peak_times,
+        tolerance_s,
+        lag_lo_s=-_SKEW_TOLERANCE_S,
+        lag_hi_s=protocol.stale_max_lag_s,
+    )
+    if tx.fraction < protocol.bind_fraction:
+        return BindingOutcome.UNDELIVERED, tx
+    if not received_peak_times:
+        return BindingOutcome.NO_EVIDENCE, _NO_MATCH
+
+    chain_lag = tx.lag_s
+
+    def net(match: ScheduleMatch) -> ScheduleMatch:
+        return dataclasses.replace(match, lag_s=match.lag_s - chain_lag)
+
+    # Step 2: does the response echo the current schedule, and how late?
+    fresh = net(
+        match_schedule(
+            current.times,
+            received_peak_times,
+            tolerance_s,
+            lag_lo_s=chain_lag - _SKEW_TOLERANCE_S,
+            lag_hi_s=chain_lag + protocol.freshness_window_s,
+        )
+    )
+    stale = net(
+        match_schedule(
+            current.times,
+            received_peak_times,
+            tolerance_s,
+            lag_lo_s=chain_lag + protocol.freshness_window_s,
+            lag_hi_s=chain_lag + protocol.stale_max_lag_s,
+            # Stale lags are large enough to push a late challenge's
+            # response past the end of the clip; such challenges leave
+            # the denominator instead of counting as unanswered.
+            observable_end_s=current.clip_duration_s - _OBSERVABLE_MARGIN_S,
+        )
+    )
+    # Step 3: or does it echo something the tenant was challenged with
+    # before?  A replayed recording answers an old schedule *exactly*
+    # (near-zero residual), which is how it outranks the coincidental
+    # partial fits random peaks produce against the current schedule.
+    replay = _NO_MATCH
+    for prior in priors:
+        candidate = net(
+            match_schedule(
+                prior.times,
+                received_peak_times,
+                tolerance_s,
+                lag_lo_s=chain_lag - _SKEW_TOLERANCE_S,
+                lag_hi_s=chain_lag + protocol.stale_max_lag_s,
+            )
+        )
+        if candidate.key > replay.key:
+            replay = candidate
+    fresh_ok = fresh.fraction >= protocol.bind_fraction
+    stale_ok = stale.fraction >= protocol.bind_fraction
+    # A replay claim must look like an actual echo: full fraction *and*
+    # a residual inside the cap (see ProtocolConfig.replay_residual_cap_s).
+    replay_ok = (
+        replay.fraction >= protocol.bind_fraction
+        and replay.residual_s <= protocol.replay_residual_cap_s
+    )
+    # With two challenges per clip and a ~1 s tolerance, some prior
+    # schedule's gap collides with a genuine response's gap in a sizable
+    # fraction of sessions, and peak-detection jitter makes the
+    # coincidence's residual land within noise of the true echo's.  A
+    # replay claim therefore has to beat the fresh interpretation by
+    # more than the jitter floor (``echo_margin_s``) — or match strictly
+    # more challenges — before it outranks a full fresh match.
+    handicapped_fresh = dataclasses.replace(
+        fresh, residual_s=max(fresh.residual_s - protocol.echo_margin_s, 0.0)
+    )
+    if fresh_ok and (not replay_ok or handicapped_fresh.key >= replay.key):
+        return BindingOutcome.BOUND, fresh
+    if replay_ok and (not stale_ok or replay.key >= stale.key):
+        return BindingOutcome.REPLAY, replay
+    if stale_ok:
+        return BindingOutcome.STALE, stale
+    best = max((fresh, stale, replay), key=lambda m: m.key)
+    return BindingOutcome.UNBOUND, best

@@ -1,0 +1,95 @@
+"""Keyed derivation for the challenge protocol (HMAC-SHA256 as a PRF).
+
+Everything the protocol randomizes — session nonces, challenge times,
+spot flips, brightness deltas, acknowledgement tags — is derived from a
+single tenant secret through HMAC-SHA256, never from an RNG.  That makes
+the whole protocol a pure function of ``(secret, tenant, session)``:
+bit-identical under the VirtualScheduler, across process pools, and
+across serial replays, which is the same determinism contract the rest
+of the tree lives by (reprolint R001 has nothing to flag here — there is
+no random state to seed).
+
+Key hierarchy (domain-separated by a literal tag in each derivation)::
+
+    tenant_key   = HMAC(secret,      "tenant" | tenant_id)
+    session_nonce= HMAC(tenant_key,  "nonce"  | session_id)
+    stream block = HMAC(tenant_key,  "sched"  | nonce | attempt | counter)
+    ack tag      = HMAC(tenant_key,  "ack"    | nonce)
+
+The verifier sends ``(session_id, nonce)`` to the prover at call start
+(over the ordinary media path, as frame metadata); the prover proves
+possession of the shared tenant key by echoing the ack tag.  Schedule
+bytes never travel — both ends re-derive them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = [
+    "ack_tag",
+    "derive_session_nonce",
+    "derive_tenant_key",
+    "handshake_payload",
+    "prf_stream",
+    "verify_ack",
+]
+
+#: Separator between PRF input parts.  A dedicated byte keeps the
+#: concatenation injective for the tag/id strings used here (none of
+#: which may contain it).
+_SEP = b"\x1f"
+
+
+def _as_bytes(part: bytes | str | int) -> bytes:
+    if isinstance(part, bytes):
+        return part
+    if isinstance(part, str):
+        return part.encode("utf-8")
+    return str(int(part)).encode("ascii")
+
+
+def prf(key: bytes, *parts: bytes | str | int) -> bytes:
+    """One 32-byte HMAC-SHA256 block over the separator-joined parts."""
+    if not key:
+        raise ValueError("key must be non-empty")
+    message = _SEP.join(_as_bytes(p) for p in parts)
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def prf_stream(key: bytes, *parts: bytes | str | int, blocks: int = 1) -> bytes:
+    """``blocks`` concatenated PRF blocks (a counter-mode byte stream)."""
+    if blocks < 1:
+        raise ValueError("blocks must be >= 1")
+    return b"".join(prf(key, *parts, i) for i in range(blocks))
+
+
+def derive_tenant_key(secret: bytes | str, tenant_id: str) -> bytes:
+    """Per-tenant key: compromise of one tenant's key stays contained."""
+    return prf(_as_bytes(secret) or b"\x00", "tenant", tenant_id)
+
+
+def derive_session_nonce(tenant_key: bytes, session_id: str) -> bytes:
+    """The session's 32-byte nonce (what the handshake carries)."""
+    return prf(tenant_key, "nonce", session_id)
+
+
+def ack_tag(tenant_key: bytes, nonce: bytes) -> bytes:
+    """The prover's response to the handshake: proof it holds the key."""
+    return prf(tenant_key, "ack", nonce)
+
+
+def verify_ack(tenant_key: bytes, nonce: bytes, tag: bytes) -> bool:
+    """Constant-time check of a received acknowledgement tag."""
+    return hmac.compare_digest(ack_tag(tenant_key, nonce), tag)
+
+
+def handshake_payload(session_id: str, nonce: bytes) -> dict[str, str]:
+    """The verifier -> prover handshake as frame metadata.
+
+    Flat strings only: frame metadata crosses the media links (and the
+    loss-concealment copy path) untouched, but keeping it JSON-trivial
+    means a trace sink can serialize it as-is.
+    """
+    return {"session_id": session_id, "nonce": nonce.hex()}

@@ -1,0 +1,110 @@
+"""Per-tenant nonce provisioning and the commitment ledger.
+
+:class:`ProtocolProvisioner` is the verifier-side authority: it holds
+the deployment secret, derives each tenant's key and each session's
+nonce, and keeps a bounded per-tenant ledger of issued commitments so a
+later session can recognize a *replayed* response as belonging to an
+earlier schedule.
+
+Provisioning is the synchronization point for determinism: the priors a
+gate will ever compare against are snapshotted at :meth:`provision`
+time (submit order — identical between a concurrent service run and its
+serial replay), and the new session's own commitments are appended to
+the ledger in the same breath.  Nothing reads the ledger afterwards, so
+no interleaving of in-flight sessions can change any verdict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.config import DetectorConfig
+from ..obs.instrument import Instrumentation
+from .commitment import ChallengeCommitment
+from .gate import ProtocolGate
+from .nonce import derive_session_nonce, derive_tenant_key
+from .schedule import ProtocolConfig, derive_schedule
+
+__all__ = ["ProtocolProvisioner", "derive_session_schedules"]
+
+
+def derive_session_schedules(
+    secret: bytes | str,
+    tenant_id: str,
+    session_id: str,
+    attempts: int,
+    config: DetectorConfig | None = None,
+    protocol: ProtocolConfig | None = None,
+):
+    """Pure derivation of one session's schedules from the secret.
+
+    The prover-side (and workload-generator) mirror of what
+    :meth:`ProtocolProvisioner.provision` commits: both ends call this
+    one function, so they cannot disagree.
+    """
+    tenant_key = derive_tenant_key(secret, tenant_id)
+    nonce = derive_session_nonce(tenant_key, session_id)
+    return tuple(
+        derive_schedule(tenant_key, nonce, i, config, protocol)
+        for i in range(attempts)
+    )
+
+
+class ProtocolProvisioner:
+    """Issues per-session gates and remembers what was committed."""
+
+    def __init__(
+        self,
+        secret: bytes | str,
+        config: DetectorConfig | None = None,
+        protocol: ProtocolConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self.secret = secret
+        self.config = config or DetectorConfig()
+        self.protocol = protocol or ProtocolConfig()
+        self.instrumentation = Instrumentation.ensure(instrumentation)
+        self._tenant_keys: dict[str, bytes] = {}
+        # tenant -> recent sessions' commitments, oldest evicted first.
+        self._ledger: dict[str, deque[tuple[ChallengeCommitment, ...]]] = {}
+
+    def tenant_key(self, tenant_id: str) -> bytes:
+        key = self._tenant_keys.get(tenant_id)
+        if key is None:
+            key = derive_tenant_key(self.secret, tenant_id)
+            self._tenant_keys[tenant_id] = key
+        return key
+
+    def provision(self, tenant_id: str, session_id: str) -> ProtocolGate:
+        """A gate for one new session, priors frozen as of right now."""
+        key = self.tenant_key(tenant_id)
+        nonce = derive_session_nonce(key, session_id)
+        ledger = self._ledger.setdefault(
+            tenant_id, deque(maxlen=max(self.protocol.ledger_depth, 1))
+        )
+        priors = tuple(c for session in ledger for c in session)
+        committed = tuple(
+            ChallengeCommitment(
+                tenant_id=tenant_id,
+                session_id=session_id,
+                schedule=derive_schedule(key, nonce, i, self.config, self.protocol),
+            )
+            for i in range(self.protocol.commit_attempts)
+        )
+        if self.protocol.ledger_depth > 0:
+            ledger.append(committed)
+        self.instrumentation.count("protocol_nonces_issued_total")
+        return ProtocolGate(
+            tenant_id=tenant_id,
+            session_id=session_id,
+            tenant_key=key,
+            nonce=nonce,
+            config=self.config,
+            protocol=self.protocol,
+            priors=priors,
+            instrumentation=self.instrumentation,
+        )
+
+    def ledger_size(self, tenant_id: str) -> int:
+        """Sessions currently remembered for one tenant."""
+        return len(self._ledger.get(tenant_id, ()))

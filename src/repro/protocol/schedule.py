@@ -1,0 +1,248 @@
+"""Deterministic challenge schedules derived from a session nonce.
+
+:func:`derive_schedule` expands ``(tenant_key, nonce, attempt_index)``
+into one clip's worth of challenge times, metering-spot flips and
+brightness deltas.  Both ends of the call run the same expansion — the
+schedule itself never crosses the network — and every derived time is
+quantized to the dyadic grid (multiples of 2^-20 s, the same grid the
+service's VirtualScheduler runs on), so replaying a session under
+virtual time reproduces the schedule byte for byte.
+
+Placement uses the classic stick-breaking trick: with ``n`` challenges
+at minimum gap ``g`` inside the usable window ``[start, end]``, the free
+slack ``(end - start) - (n - 1) * g`` is split by ``n`` sorted uniforms
+(drawn from the PRF stream), and challenge ``j`` lands at
+``start + u_(j) * slack + j * g``.  Every draw keeps the pairwise gaps
+>= ``g`` by construction, so the Sec. V smoothing chain always resolves
+the challenges as distinct peaks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import DetectorConfig
+from .nonce import prf, prf_stream
+
+__all__ = [
+    "DerivedChallenge",
+    "DerivedSchedule",
+    "ProtocolConfig",
+    "derive_schedule",
+]
+
+#: Dyadic time grid (2^20 slots per second) — the VirtualScheduler's
+#: grid.  Quantizing to it keeps virtual-time arithmetic exact in
+#: binary floating point, so schedule times survive any summation order.
+_TIME_GRID = float(1 << 20)
+
+#: Metering-spot names a challenge can flip to.
+_SPOTS = ("bright", "dark")
+
+
+def _quantize(t: float) -> float:
+    return round(t * _TIME_GRID) / _TIME_GRID
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the challenge-binding protocol.
+
+    Attributes
+    ----------
+    freshness_window_s:
+        Maximum response lag (beyond the transmitted signal's own chain
+        delay) for a clip to count as *bound* to the live schedule.
+        Covers the network round trip plus display latency with margin;
+        a relay that re-synthesizes the reflection needs processing time
+        and lands beyond it.
+    stale_max_lag_s:
+        Largest lag at which a response is still recognized as a late
+        echo of the current schedule (``STALE``).  Beyond it the signal
+        is simply unbound.
+    bind_fraction:
+        Fraction of a schedule's challenges that must find a received
+        peak (at one common lag) for the schedule to count as matched.
+        Defaults to 1.0: with the paper-default two challenges per clip,
+        anything less degenerates into single-peak coincidences.  A clip
+        that lost a response to channel damage is already the quality
+        gate's business (``CHALLENGE_OBSCURED``), not the protocol's.
+    start_margin_s:
+        Earliest challenge time inside a clip — leaves room for the
+        response of the *previous* clip's last challenge to drain, and
+        for the smoothing chain to resolve the peak at all (the RMS
+        window is 3 s wide; a change in the first second of a clip
+        produces a malformed, often undetected peak).
+    end_margin_s:
+        Extra margin *beyond* the detector's ``boundary_guard_s`` kept
+        free at the end of a clip.  A challenge needs its response —
+        chain lag plus path delay — to land inside the same clip to be
+        matched, so the last usable challenge time backs off by both
+        margins.
+    ledger_depth:
+        Prior sessions per tenant whose commitments the verifier keeps
+        for replay matching.  An attacker replaying anything older is
+        still rejected — just as ``FAKE`` rather than ``REPLAY``.
+    commit_attempts:
+        Attempts (clips) per session the provisioner commits to the
+        ledger.  Sessions longer than this stay verifiable; only the
+        replay-attribution memory is bounded.
+    delta_range_lux:
+        Brightness-delta band a challenge requests, quantized to 0.5;
+        carried for provers that synthesize their signal directly from
+        the schedule (the load generator, the CLI demo).
+    echo_margin_s:
+        Peak-detection jitter floor.  A replay match must have a
+        residual more than this far below the fresh match's (or match
+        strictly more challenges) before it outranks a full fresh match
+        — residual differences inside the margin are noise, and prior
+        schedules collide with genuine responses often enough that a
+        bare tie-break would condemn real users.
+    replay_residual_cap_s:
+        Largest mean residual a prior-schedule match may carry and
+        still claim ``REPLAY``.  A replayed recording answers its old
+        schedule with one common path delay, so every peak lands within
+        detection jitter of expected + lag (residual <= ~0.05 s even on
+        the full chat path); a coincidental gap collision spreads its
+        errors over the whole tolerance band.  Without the cap, sloppy
+        two-peak collisions outrank correct one-peak stale matches.
+    enforce_binding:
+        When true, a conclusive clip whose response binds to *no* known
+        schedule counts as a rejection even if the LOF accepts it.
+        Off by default: the LOF path already condemns unbound signals,
+        and keeping the channels independent preserves the seed ROC.
+    """
+
+    freshness_window_s: float = 2.5
+    stale_max_lag_s: float = 8.0
+    bind_fraction: float = 1.0
+    start_margin_s: float = 1.5
+    end_margin_s: float = 2.0
+    ledger_depth: int = 3
+    commit_attempts: int = 2
+    delta_range_lux: tuple[float, float] = (35.0, 60.0)
+    echo_margin_s: float = 0.08
+    replay_residual_cap_s: float = 0.25
+    enforce_binding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.freshness_window_s <= 0:
+            raise ValueError("freshness_window_s must be positive")
+        if self.stale_max_lag_s <= self.freshness_window_s:
+            raise ValueError("stale_max_lag_s must exceed freshness_window_s")
+        if not 0 < self.bind_fraction <= 1:
+            raise ValueError("bind_fraction must lie in (0, 1]")
+        if self.start_margin_s < 0:
+            raise ValueError("start_margin_s must be non-negative")
+        if self.end_margin_s < 0:
+            raise ValueError("end_margin_s must be non-negative")
+        if self.ledger_depth < 0:
+            raise ValueError("ledger_depth must be >= 0")
+        if self.commit_attempts < 1:
+            raise ValueError("commit_attempts must be >= 1")
+        lo, hi = self.delta_range_lux
+        if not 0 < lo <= hi:
+            raise ValueError("delta_range_lux must satisfy 0 < lo <= hi")
+        if self.echo_margin_s < 0:
+            raise ValueError("echo_margin_s must be non-negative")
+        if self.replay_residual_cap_s <= 0:
+            raise ValueError("replay_residual_cap_s must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class DerivedChallenge:
+    """One scheduled challenge inside a clip."""
+
+    time_s: float  # clip-relative, dyadic-grid quantized
+    spot: str  # "bright" | "dark": metering zone to flip to
+    delta_lux: float  # requested brightness swing (0.5-lux quantized)
+
+
+@dataclasses.dataclass(frozen=True)
+class DerivedSchedule:
+    """One clip's challenge schedule, bound to ``(nonce, attempt)``."""
+
+    nonce: bytes
+    attempt_index: int
+    clip_duration_s: float
+    challenges: tuple[DerivedChallenge, ...]
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return tuple(c.time_s for c in self.challenges)
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logs and CLI output."""
+        return self.nonce.hex()[:12] + f"/{self.attempt_index}"
+
+
+def _uniforms(key: bytes, nonce: bytes, attempt_index: int, count: int) -> list[float]:
+    """``count`` PRF-derived values in [0, 1), 8 bytes each."""
+    blocks = (count * 8 + 31) // 32
+    stream = prf_stream(key, "sched", nonce, attempt_index, blocks=blocks)
+    out = []
+    for j in range(count):
+        chunk = stream[j * 8 : j * 8 + 8]
+        out.append(int.from_bytes(chunk, "big") / float(1 << 64))
+    return out
+
+
+def derive_schedule(
+    tenant_key: bytes,
+    nonce: bytes,
+    attempt_index: int,
+    config: DetectorConfig | None = None,
+    protocol: ProtocolConfig | None = None,
+) -> DerivedSchedule:
+    """Expand the keyed stream into one clip's challenge schedule.
+
+    Uses ``config.min_challenges`` challenges spaced >=
+    ``config.min_gap_s`` inside ``[start_margin_s, clip_duration_s -
+    boundary_guard_s - end_margin_s]``; raises when they do not fit (the
+    same guard :class:`~repro.core.challenge.ChallengeScheduler`
+    applies, tightened by the protocol margins).
+    """
+    config = config or DetectorConfig()
+    protocol = protocol or ProtocolConfig()
+    if attempt_index < 0:
+        raise ValueError("attempt_index must be >= 0")
+    n = config.min_challenges
+    gap = config.min_gap_s
+    start = protocol.start_margin_s
+    end = config.clip_duration_s - config.boundary_guard_s - protocol.end_margin_s
+    slack = (end - start) - (n - 1) * gap
+    if slack < 0:
+        raise ValueError(
+            f"{n} challenges at {gap}s spacing do not fit the "
+            f"[{start:.1f}, {end:.1f}]s usable window"
+        )
+    # n uniforms place the times, one is reserved (layout stability), n
+    # pick the per-challenge deltas.
+    draws = _uniforms(tenant_key, nonce, attempt_index, 2 * n + 1)
+    placements = sorted(draws[:n])
+    # Spots alternate *continuously across attempts*: challenge j of
+    # attempt a sits at (base + a*n + j) % 2, with the base spot derived
+    # from the nonce alone.  A per-attempt starting spot would let the
+    # first challenge of a clip land on the zone the meter already
+    # points at — a no-op flip that produces no luminance change and
+    # reads as CHALLENGE_UNDELIVERED.
+    base_spot = prf(tenant_key, "spot", nonce)[0] & 1
+    spot_index = (base_spot + attempt_index * n) % 2
+    lo, hi = protocol.delta_range_lux
+    challenges = []
+    for j in range(n):
+        t = _quantize(start + placements[j] * slack + j * gap)
+        delta = lo + draws[n + 1 + j] * (hi - lo)
+        challenges.append(
+            DerivedChallenge(
+                time_s=t,
+                spot=_SPOTS[(spot_index + j) % 2],
+                delta_lux=round(delta * 2.0) / 2.0,
+            )
+        )
+    return DerivedSchedule(
+        nonce=nonce,
+        attempt_index=attempt_index,
+        clip_duration_s=config.clip_duration_s,
+        challenges=tuple(challenges),
+    )

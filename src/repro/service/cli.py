@@ -21,6 +21,7 @@ import argparse
 import json
 
 from ..obs.instrument import Instrumentation
+from ..protocol import ProtocolConfig
 from .loadgen import WorkloadConfig, make_tenant_bank_provider, run_workload
 from .realtime import RealTimeScheduler
 from .scheduler import Scheduler, VirtualScheduler
@@ -33,6 +34,38 @@ __all__ = [
     "run_loadtest",
     "run_serve",
 ]
+
+
+def _add_protocol_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of sessions using the challenge-binding protocol",
+    )
+    parser.add_argument(
+        "--protocol-replay",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="share of protocol sessions replaying a prior session",
+    )
+    parser.add_argument(
+        "--protocol-stale",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="share of protocol sessions answering past the freshness window",
+    )
+
+
+def _protocol_workload_fields(args: argparse.Namespace) -> dict:
+    return {
+        "protocol_fraction": args.protocol,
+        "protocol_replay_fraction": args.protocol_replay,
+        "protocol_stale_fraction": args.protocol_stale,
+    }
 
 
 def _build_stack(
@@ -73,6 +106,7 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="run against the wall clock (frames paced at 10 Hz, i.e. "
         "real seconds) instead of deterministic virtual time",
     )
+    _add_protocol_arguments(parser)
 
 
 def run_serve(args: argparse.Namespace) -> int:
@@ -84,13 +118,16 @@ def run_serve(args: argparse.Namespace) -> int:
         attack_fraction=args.attack_fraction,
         chaos_fraction=args.chaos,
         seed=args.seed,
+        **_protocol_workload_fields(args),
     )
     scheduler: Scheduler = (
         RealTimeScheduler() if args.realtime else VirtualScheduler()
     )
-    server, instr = _build_stack(
-        workload, ServerConfig(max_sessions=args.max_sessions), scheduler
+    server_config = ServerConfig(
+        max_sessions=args.max_sessions,
+        protocol=ProtocolConfig() if args.protocol > 0 else None,
     )
+    server, instr = _build_stack(workload, server_config, scheduler)
     mode = "realtime" if args.realtime else "virtual"
     print(
         f"serving {workload.sessions} sessions / {workload.tenants} tenants "
@@ -136,6 +173,7 @@ def add_loadtest_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FRACTION",
         help="fraction of sessions riding a fault schedule",
     )
+    _add_protocol_arguments(parser)
     parser.add_argument(
         "--no-serial-check",
         action="store_true",
@@ -169,10 +207,12 @@ def run_loadtest(args: argparse.Namespace) -> int:
         burst_fraction=0.05,
         small_tenant_fraction=0.2,
         seed=args.seed,
+        **_protocol_workload_fields(args),
     )
     server_config = ServerConfig(
         max_sessions=args.max_sessions,
         admission_queue_depth=args.queue_depth,
+        protocol=ProtocolConfig() if args.protocol > 0 else None,
     )
     print(
         f"loadtest: {workload.sessions} sessions / {workload.tenants} tenants, "
@@ -211,6 +251,9 @@ def run_loadtest(args: argparse.Namespace) -> int:
             "end_reasons": report.end_reasons,
             "tenant_cache": report.tenant_cache,
             "task_failures": report.task_failures,
+            "protocol_sessions": report.protocol_sessions,
+            "protocol_bindings": report.protocol_bindings,
+            "tenant_status": report.tenant_status,
             "serial_identity": identical,
         }
         with open(args.json, "w") as fh:

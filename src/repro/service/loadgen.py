@@ -36,6 +36,7 @@ from ..core.config import DetectorConfig
 from ..core.features import extract_features_batch
 from ..core.seeding import spawn_seeds
 from ..faults import FaultSpec
+from ..protocol.provision import derive_session_schedules
 from ..video.frame import Frame
 from ..video.luminance import BT709_WEIGHTS
 from .queues import FrameQueue  # noqa: F401  (re-exported for tests)
@@ -82,6 +83,19 @@ class WorkloadConfig:
     small_enroll_clips: int = 4  # < lof_neighbors + 1: exercises the clamp
     frame_height: int = 24
     frame_width: int = 24
+    #: Fraction of sessions that run the challenge-binding protocol
+    #: (submitted with ``protocol=True``; the server must be configured
+    #: with a :class:`~repro.protocol.schedule.ProtocolConfig`).  Zero
+    #: keeps the script stream byte-identical to pre-protocol workloads.
+    protocol_fraction: float = 0.0
+    #: Among protocol sessions: fraction replaying a prior session's
+    #: recorded response, and fraction relaying the live response too
+    #: late.  The remainder answer their own schedule freshly.
+    protocol_replay_fraction: float = 0.0
+    protocol_stale_fraction: float = 0.0
+    #: Must match the server's ``protocol_secret`` — the workload mirrors
+    #: the prover side of the keyed derivation.
+    protocol_secret: str = "repro-deployment-secret"
     seed: int = 20260808
     fault_spec: FaultSpec = dataclasses.field(
         default_factory=lambda: FaultSpec(
@@ -101,6 +115,12 @@ class WorkloadConfig:
             raise ValueError("sessions and tenants must be >= 1")
         if self.arrival_rate_hz <= 0:
             raise ValueError("arrival_rate_hz must be positive")
+        if not 0 <= self.protocol_fraction <= 1:
+            raise ValueError("protocol_fraction must lie in [0, 1]")
+        if self.protocol_replay_fraction < 0 or self.protocol_stale_fraction < 0:
+            raise ValueError("protocol role fractions must be non-negative")
+        if self.protocol_replay_fraction + self.protocol_stale_fraction > 1:
+            raise ValueError("protocol role fractions must sum to <= 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +139,9 @@ class SessionScript:
     extra_delay_s: np.ndarray  # jitter: added before pushing this tick
     abandon_after: int | None  # feed dies after this many ticks (no EOS)
     burst: bool  # dump all frames without pacing
+    #: None for ordinary sessions; "genuine" | "replay" | "stale" for
+    #: sessions submitted with the challenge-binding protocol.
+    protocol: str | None = None
 
     @property
     def ticks(self) -> int:
@@ -178,6 +201,70 @@ def _attack_signals(
     return np.concatenate(t_parts), 120.0 + rng.normal(0.0, 2.0, n)
 
 
+def _derived_transmitted(schedules) -> np.ndarray:
+    """Transmitted luminance executing the derived challenge schedules.
+
+    Each challenge steps the level by its brightness delta — up for a
+    dark-spot metering flip (exposure opens), down for a bright-spot
+    flip.  Spots alternate within a schedule, so the level oscillates
+    around the baseline instead of drifting.
+    """
+    parts = []
+    for schedule in schedules:
+        t = np.full(_TICKS_PER_CLIP, 180.0)
+        for challenge in schedule.challenges:
+            idx = min(int(round(challenge.time_s / _TICK_S)), _TICKS_PER_CLIP - 1)
+            t[idx:] += (
+                challenge.delta_lux if challenge.spot == "dark" else -challenge.delta_lux
+            )
+        parts.append(t)
+    return np.concatenate(parts)
+
+
+def _delayed_response(t_sig: np.ndarray, delay_ticks: int, rng) -> np.ndarray:
+    """Attenuated screen reflection trailing ``t_sig`` by ``delay_ticks``."""
+    delayed = np.concatenate([np.full(delay_ticks, t_sig[0]), t_sig[:-delay_ticks]])
+    return 120.0 + 0.3 * delayed + rng.normal(0.0, 0.4, t_sig.size)
+
+
+def _protocol_signals(
+    config: WorkloadConfig,
+    rng: np.random.Generator,
+    tenant_id: str,
+    session_id: str,
+    clips: int,
+    mode: str,
+    prior_session_id: str | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Signal pair of one protocol session.
+
+    ``genuine`` answers its own derived schedule with the usual 0.2-0.5 s
+    path delay; ``stale`` answers it 3.5-5.5 s late (a slow relay, past
+    the freshness window but inside the stale band); ``replay`` sends the
+    recorded response of the tenant's *previous* protocol session while
+    the current schedule rides the transmitted side.  A replay with no
+    prior session to echo degrades to a fresh response — there is nothing
+    recorded to play back.
+    """
+    schedules = derive_session_schedules(
+        config.protocol_secret, tenant_id, session_id, clips
+    )
+    t_sig = _derived_transmitted(schedules)
+    if mode == "stale":
+        delay = int(rng.integers(32, 46))  # 3.2-4.5 s: past freshness (2.5 s)
+        r_sig = _delayed_response(t_sig, delay, rng)
+    elif mode == "replay" and prior_session_id is not None:
+        prior = derive_session_schedules(
+            config.protocol_secret, tenant_id, prior_session_id, clips
+        )
+        delay = int(rng.integers(2, 6))
+        r_sig = _delayed_response(_derived_transmitted(prior), delay, rng)
+    else:
+        delay = int(rng.integers(2, 6))
+        r_sig = _delayed_response(t_sig, delay, rng)
+    return t_sig, r_sig
+
+
 def build_scripts(config: WorkloadConfig) -> list[SessionScript]:
     """The full deterministic session list of one workload."""
     rng = np.random.default_rng([config.seed, 0x10AD])
@@ -187,9 +274,14 @@ def build_scripts(config: WorkloadConfig) -> list[SessionScript]:
     arrival = 0.0
     scripts: list[SessionScript] = []
     session_seeds = spawn_seeds(config.seed, config.sessions)
+    # Last protocol session per tenant: what a replaying recorder most
+    # recently observed (and what the verifier's ledger still remembers).
+    last_protocol: dict[str, str] = {}
     for i in range(config.sessions):
+        session_id = f"load-{i:05d}"
         arrival += float(rng.exponential(1.0 / config.arrival_rate_hz))
         tenant = int(rng.choice(config.tenants, p=weights))
+        tenant_id = f"tenant-{tenant:03d}"
         role = "attack" if rng.random() < config.attack_fraction else "genuine"
         clips = 1 + min(
             int(rng.exponential(config.mean_extra_clips)), config.max_clips - 1
@@ -197,8 +289,42 @@ def build_scripts(config: WorkloadConfig) -> list[SessionScript]:
         chaotic = rng.random() < config.chaos_fraction
         abandons = rng.random() < config.abandon_fraction
         burst = rng.random() < config.burst_fraction
+        # Protocol draws are guarded so a zero-fraction workload consumes
+        # exactly the pre-protocol RNG stream (byte-identical scripts).
+        protocol_role = None
+        if config.protocol_fraction > 0 and rng.random() < config.protocol_fraction:
+            u = rng.random()
+            if u < config.protocol_replay_fraction:
+                protocol_role = "replay"
+            elif u < config.protocol_replay_fraction + config.protocol_stale_fraction:
+                protocol_role = "stale"
+            else:
+                protocol_role = "genuine"
         s_rng = np.random.default_rng(session_seeds[i])
-        if role == "genuine":
+        if protocol_role == "replay" and tenant_id not in last_protocol:
+            # Nothing to replay yet: the tenant has no prior protocol
+            # session.  The signal synthesis would fall back to a
+            # genuine response anyway, so label the session honestly.
+            protocol_role = "genuine"
+        if protocol_role is not None:
+            # Protocol sessions keep clip boundaries aligned with their
+            # schedules: no chaos, no bursts (queue shedding would shift
+            # the clip grid), no abandons, and at most the number of
+            # attempts the provisioner commits to the ledger.
+            role = "genuine" if protocol_role == "genuine" else "attack"
+            clips = min(clips, 2)
+            chaotic = abandons = burst = False
+            t_sig, r_sig = _protocol_signals(
+                config,
+                s_rng,
+                tenant_id,
+                session_id,
+                clips,
+                protocol_role,
+                last_protocol.get(tenant_id),
+            )
+            last_protocol[tenant_id] = session_id
+        elif role == "genuine":
             t_sig, r_sig = _genuine_signals(s_rng, clips)
         else:
             t_sig, r_sig = _attack_signals(s_rng, clips)
@@ -221,8 +347,8 @@ def build_scripts(config: WorkloadConfig) -> list[SessionScript]:
             abandon_after = int(s_rng.integers(30, _TICKS_PER_CLIP - 10))
         scripts.append(
             SessionScript(
-                session_id=f"load-{i:05d}",
-                tenant_id=f"tenant-{tenant:03d}",
+                session_id=session_id,
+                tenant_id=tenant_id,
                 role=role,
                 arrival_offset_s=arrival,
                 clips=clips,
@@ -233,6 +359,7 @@ def build_scripts(config: WorkloadConfig) -> list[SessionScript]:
                 extra_delay_s=extra_delay,
                 abandon_after=abandon_after,
                 burst=burst,
+                protocol=protocol_role,
             )
         )
     return scripts
@@ -306,7 +433,11 @@ async def _feed_session(
     config: WorkloadConfig,
 ) -> SessionOutcome | None:
     """Submit one scripted session, pace its frames, await the verdict."""
-    admission = server.submit(script.tenant_id, session_id=script.session_id)
+    admission = server.submit(
+        script.tenant_id,
+        session_id=script.session_id,
+        protocol=script.protocol is not None,
+    )
     if not admission.admitted:
         return None
     handle = admission.handle

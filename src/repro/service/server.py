@@ -37,6 +37,9 @@ from typing import Callable
 from ..core.config import DetectorConfig
 from ..core.streaming import CallStatus
 from ..obs.instrument import Instrumentation
+from ..protocol.gate import ProtocolGate
+from ..protocol.provision import ProtocolProvisioner
+from ..protocol.schedule import ProtocolConfig
 from ..video.frame import Frame
 from .queues import END_OF_STREAM, FrameQueue
 from .scheduler import TIMEOUT, Scheduler, TaskHandle, Waiter
@@ -73,6 +76,12 @@ class ServerConfig:
     tenant_cache_capacity: int = 32
     tenant_cache_shards: int = 4
     detector: DetectorConfig = dataclasses.field(default_factory=DetectorConfig)
+    #: When set, the server provisions per-session nonces and binds a
+    #: challenge gate to every session submitted with ``protocol=True``.
+    protocol: ProtocolConfig | None = None
+    #: Deployment secret the key hierarchy hangs off.  Only consulted
+    #: when ``protocol`` is set.
+    protocol_secret: str = "repro-deployment-secret"
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -81,6 +90,8 @@ class ServerConfig:
             raise ValueError("admission_queue_depth must be >= 0")
         if self.session_deadline_s <= 0 or self.frame_timeout_s <= 0:
             raise ValueError("deadlines must be positive")
+        if self.protocol is not None and not self.protocol_secret:
+            raise ValueError("protocol_secret must be non-empty when protocol is set")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,12 +125,19 @@ class Admission:
 class SessionHandle:
     """Caller's side of an admitted session: feed frames, await verdict."""
 
-    __slots__ = ("session_id", "tenant_id", "queue", "_task")
+    __slots__ = ("session_id", "tenant_id", "queue", "gate", "_task")
 
-    def __init__(self, session_id: str, tenant_id: str, queue: FrameQueue) -> None:
+    def __init__(
+        self,
+        session_id: str,
+        tenant_id: str,
+        queue: FrameQueue,
+        gate: ProtocolGate | None = None,
+    ) -> None:
         self.session_id = session_id
         self.tenant_id = tenant_id
         self.queue = queue
+        self.gate = gate
         self._task: TaskHandle | None = None
 
     def push_frame(self, transmitted: Frame, received: Frame) -> None:
@@ -156,6 +174,18 @@ class VerificationServer:
             detector_config=self.config.detector,
             instrumentation=self.instrumentation,
         )
+        # Nonce authority, shared by every session of the server.  Its
+        # ledger is only touched inside submit() (synchronous, submit
+        # order), which is what keeps protocol verdicts identical between
+        # a concurrent run and its serial replay.
+        self.provisioner: ProtocolProvisioner | None = None
+        if self.config.protocol is not None:
+            self.provisioner = ProtocolProvisioner(
+                self.config.protocol_secret,
+                config=self.config.detector,
+                protocol=self.config.protocol,
+                instrumentation=self.instrumentation,
+            )
         self._active = 0  # sessions holding a verification slot
         self._committed = 0  # admitted and not yet finished (incl. queued)
         self._slot_waiters: deque[Waiter] = deque()  # admission queue (FIFO)
@@ -177,13 +207,25 @@ class VerificationServer:
     def queued_sessions(self) -> int:
         return len(self._slot_waiters)
 
-    def submit(self, tenant_id: str, session_id: str | None = None) -> Admission:
+    def submit(
+        self,
+        tenant_id: str,
+        session_id: str | None = None,
+        protocol: bool = False,
+    ) -> Admission:
         """Admit (or reject) one session; never blocks the caller.
 
         Admitted sessions start verifying immediately when a slot is
         free, otherwise they wait in the FIFO admission queue.  When the
         queue is full the submission is rejected outright — the caller
         learns *now*, instead of a timeout learning it for them later.
+
+        ``protocol=True`` (requires :attr:`ServerConfig.protocol`)
+        provisions a session nonce and binds the challenge gate to the
+        session's verifier: the prover is then expected to answer the
+        nonce-derived schedule, and verdicts gain the ``REPLAY`` /
+        ``STALE`` vocabulary.  Provisioning happens here, synchronously,
+        so the commitment ledger advances in submit order.
         """
         instr = self.instrumentation
         # Admission is accounted at submit time (not when the session
@@ -197,8 +239,19 @@ class VerificationServer:
         if session_id is None:
             self._session_seq += 1
             session_id = f"s{self._session_seq:05d}"
+        gate = None
+        if protocol:
+            if self.provisioner is None:
+                self._committed -= 1
+                instr.count(
+                    "service_admissions_total",
+                    decision="rejected",
+                    reason="protocol_disabled",
+                )
+                return Admission(decision="rejected", reason="protocol_disabled")
+            gate = self.provisioner.provision(tenant_id, session_id)
         queue = FrameQueue(self.scheduler, self.config.frame_queue_depth)
-        handle = SessionHandle(session_id, tenant_id, queue)
+        handle = SessionHandle(session_id, tenant_id, queue, gate=gate)
         instr.count("service_admissions_total", decision="admitted", reason="ok")
         handle._task = self.scheduler.spawn(
             self._run_session(handle), name=f"session:{session_id}"
@@ -240,6 +293,8 @@ class VerificationServer:
             self._committed -= 1
             instr.count("service_task_failures_total", stage="tenant_fit")
             raise
+        if handle.gate is not None:
+            verifier.bind_protocol(handle.gate)
         start = sched.now()
         deadline = start + cfg.session_deadline_s
         frames = 0
@@ -265,10 +320,12 @@ class VerificationServer:
                 frames += 1
             state = verifier.state
             status = state.status
-            if reason != "completed" and status is not CallStatus.ATTACKER:
+            condemned = (CallStatus.ATTACKER, CallStatus.REPLAY, CallStatus.STALE)
+            if reason != "completed" and status not in condemned:
                 # The channel (not the peer) ended the session: whatever
                 # partial evidence exists is not a verdict.  Only an
-                # already-raised attacker alert survives.
+                # already-raised condemnation (attacker / replay / stale)
+                # survives.
                 status = CallStatus.INCONCLUSIVE
             elif status is CallStatus.GATHERING:
                 # Clean hang-up before the first attempt completed: a
@@ -288,6 +345,11 @@ class VerificationServer:
                 duration_s=duration,
             )
             instr.count("service_sessions_total", status=status.value)
+            instr.count(
+                "service_tenant_sessions_total",
+                tenant=handle.tenant_id,
+                status=status.value,
+            )
             instr.count("service_session_end_total", reason=reason)
             instr.count("service_frames_processed_total", frames)
             instr.count("service_frames_dropped_total", handle.queue.dropped)

@@ -36,6 +36,16 @@ class SLOReport:
     task_failures: int
     peak_active: int = 0
     peak_queued: int = 0
+    #: tenant -> {CallStatus.value -> sessions}: the per-tenant outcome
+    #: mix, which is where protocol condemnations (replay / stale) show
+    #: which customer is under attack.
+    tenant_status: dict[str, dict[str, int]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: BindingOutcome.value -> clips, from ``protocol_bindings_total``.
+    protocol_bindings: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Sessions provisioned with a challenge-binding nonce.
+    protocol_sessions: int = 0
 
     @property
     def submitted(self) -> int:
@@ -66,7 +76,7 @@ class SLOReport:
             f"{name}={count}" for name, count in sorted(self.end_reasons.items())
         )
         cache = self.tenant_cache
-        return [
+        out = [
             f"sessions: submitted={self.submitted} admitted={self.admitted} "
             f"rejected={self.rejected} (admission rate {self.admission_rate:.3f})",
             f"peak concurrency: active={self.peak_active} queued={self.peak_queued}",
@@ -80,6 +90,22 @@ class SLOReport:
             f"eviction={cache.get('eviction', 0)}",
             f"task failures: {self.task_failures}",
         ]
+        if self.protocol_sessions or self.protocol_bindings:
+            bindings = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.protocol_bindings.items())
+            )
+            out.append(
+                f"protocol: sessions={self.protocol_sessions} "
+                f"bindings: {bindings or '-'}"
+            )
+        for tenant in sorted(self.tenant_status):
+            mix = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.tenant_status[tenant].items())
+            )
+            out.append(f"  tenant {tenant}: {mix}")
+        return out
 
     def __str__(self) -> str:
         return "\n".join(self.lines())
@@ -125,9 +151,23 @@ def build_slo_report(
         for event in ("hit", "miss", "eviction")
     }
     failures = 0
+    tenant_status: dict[str, dict[str, int]] = {}
+    protocol_bindings: dict[str, int] = {}
+    protocol_sessions = 0
     for series in snapshot.series:
-        if series.name == "service_task_failures_total" and series.kind == "counter":
+        if series.kind != "counter":
+            continue
+        labels = dict(series.labels)
+        if series.name == "service_task_failures_total":
             failures += int(series.value)
+        elif series.name == "service_tenant_sessions_total":
+            tenant = labels.get("tenant", "?")
+            status = labels.get("status", "?")
+            tenant_status.setdefault(tenant, {})[status] = int(series.value)
+        elif series.name == "protocol_bindings_total":
+            protocol_bindings[labels.get("outcome", "?")] = int(series.value)
+        elif series.name == "protocol_nonces_issued_total":
+            protocol_sessions += int(series.value)
     return SLOReport(
         admitted=admitted,
         rejected=rejected,
@@ -145,4 +185,7 @@ def build_slo_report(
         task_failures=failures,
         peak_active=peak_active,
         peak_queued=peak_queued,
+        tenant_status=tenant_status,
+        protocol_bindings=protocol_bindings,
+        protocol_sessions=protocol_sessions,
     )

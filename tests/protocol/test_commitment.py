@@ -1,0 +1,154 @@
+"""Binding classification on crafted peak times.
+
+Schedules are constructed literally (not derived) so every geometric
+case — fresh echo, clock skew, replayed prior, late relay, coincidence
+— is pinned to exact numbers instead of whatever a nonce happens to
+draw.  Tolerance is the paper's ``match_tolerance_s`` (1.0 s); chain
+delay is 0.5 s throughout.
+"""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.protocol.commitment import (
+    BindingOutcome,
+    ChallengeCommitment,
+    ScheduleMatch,
+    classify_binding,
+    match_schedule,
+)
+from repro.protocol.schedule import (
+    DerivedChallenge,
+    DerivedSchedule,
+    ProtocolConfig,
+)
+
+CHAIN = 0.5
+TOL = DetectorConfig().match_tolerance_s
+PROTOCOL = ProtocolConfig()
+
+
+def schedule(*times, attempt=0):
+    return DerivedSchedule(
+        nonce=b"\x01" * 32,
+        attempt_index=attempt,
+        clip_duration_s=15.0,
+        challenges=tuple(
+            DerivedChallenge(
+                time_s=t, spot="dark" if j % 2 == 0 else "bright", delta_lux=40.0
+            )
+            for j, t in enumerate(times)
+        ),
+    )
+
+
+CURRENT = schedule(4.0, 10.0)
+TX = [t + CHAIN for t in CURRENT.times]
+
+
+def classify(received, priors=(), current=CURRENT, tx=TX):
+    return classify_binding(
+        current=current,
+        priors=priors,
+        transmitted_peak_times=tx,
+        received_peak_times=received,
+        tolerance_s=TOL,
+        protocol=PROTOCOL,
+    )
+
+
+class TestMatchSchedule:
+    def test_exact_echo_has_zero_residual(self):
+        m = match_schedule([4.0, 10.0], [4.9, 10.9], TOL, -1.0, 2.5)
+        assert m.matched == 2
+        assert m.fraction == pytest.approx(1.0)
+        assert m.lag_s == pytest.approx(0.9)
+        assert m.residual_s == pytest.approx(0.0)
+
+    def test_empty_inputs_no_match(self):
+        assert match_schedule([], [1.0], TOL, -1.0, 2.5).matched == 0
+        assert match_schedule([1.0], [], TOL, -1.0, 2.5).matched == 0
+
+    def test_observable_window_shrinks_the_denominator(self):
+        # The second expected response (10 + 4 = 14) falls past the
+        # observable end; only the first counts, and it matches fully.
+        m = match_schedule(
+            [4.0, 10.0], [8.0], TOL, 2.5, 8.0, observable_end_s=12.0
+        )
+        assert m.fraction == pytest.approx(1.0)
+        assert m.matched == 1
+
+    def test_matched_count_outranks_fraction(self):
+        two = ScheduleMatch(fraction=1.0, lag_s=0.0, residual_s=0.3, matched=2)
+        one = ScheduleMatch(fraction=1.0, lag_s=0.0, residual_s=0.0, matched=1)
+        assert two.key > one.key
+
+
+class TestClassifyBinding:
+    def test_fresh_echo_is_bound(self):
+        outcome, match = classify([t + CHAIN + 0.4 for t in CURRENT.times])
+        assert outcome is BindingOutcome.BOUND
+        assert match.lag_s == pytest.approx(0.4)
+
+    def test_clock_skewed_genuine_stays_bound(self):
+        # The prover's clock runs 0.5 s ahead of the verifier's: responses
+        # *lead* the expected times.  Skew within the allowance must not
+        # turn a genuine session into anything condemnable.
+        outcome, match = classify([t + CHAIN - 0.5 for t in CURRENT.times])
+        assert outcome is BindingOutcome.BOUND
+        assert match.lag_s == pytest.approx(-0.5)
+
+    def test_replayed_prior_schedule_is_replay(self):
+        prior = schedule(4.43, 10.38)
+        outcome, match = classify(
+            [t + CHAIN for t in prior.times], priors=[prior]
+        )
+        assert outcome is BindingOutcome.REPLAY
+        assert match.residual_s == pytest.approx(0.0)
+
+    def test_prior_collision_within_jitter_stays_bound(self):
+        # The response echoes the live schedule with 0.05 s of detection
+        # jitter; a prior schedule happens to fit the same peaks exactly.
+        # Inside the echo margin that difference is noise — genuine wins.
+        received = [4.0 + CHAIN + 0.43, 10.0 + CHAIN + 0.38]
+        prior = schedule(4.05, 10.0)
+        outcome, _ = classify(received, priors=[prior])
+        assert outcome is BindingOutcome.BOUND
+
+    def test_sloppy_prior_collision_cannot_claim_replay(self):
+        # A prior whose fit needs 0.95 s of error on one challenge is a
+        # coincidence, not an echo: the residual cap rejects the claim.
+        received = [4.0 + CHAIN + 0.43, 10.0 + CHAIN + 0.38]
+        prior = schedule(4.9, 9.9)
+        outcome, _ = classify(received, priors=[prior])
+        assert outcome is BindingOutcome.BOUND
+
+    def test_late_echo_is_stale(self):
+        received = [
+            t + CHAIN + 4.0
+            for t in CURRENT.times
+            if t + CHAIN + 4.0 <= CURRENT.clip_duration_s
+        ]
+        outcome, match = classify(received)
+        assert outcome is BindingOutcome.STALE
+        assert match.lag_s == pytest.approx(4.0)
+
+    def test_off_schedule_peaks_are_unbound(self):
+        outcome, _ = classify([1.2, 2.1])
+        assert outcome is BindingOutcome.UNBOUND
+
+    def test_no_peaks_is_no_evidence(self):
+        outcome, _ = classify([])
+        assert outcome is BindingOutcome.NO_EVIDENCE
+
+    def test_missing_transmitted_challenges_is_undelivered(self):
+        outcome, _ = classify([4.9, 10.9], tx=[])
+        assert outcome is BindingOutcome.UNDELIVERED
+
+
+class TestCommitment:
+    def test_commitment_carries_the_attempt_index(self):
+        c = ChallengeCommitment(
+            tenant_id="t", session_id="s", schedule=schedule(4.0, attempt=3)
+        )
+        assert c.attempt_index == 3

@@ -1,0 +1,80 @@
+"""Keyed derivation: the HMAC hierarchy behind the challenge protocol."""
+
+import pytest
+
+from repro.protocol.nonce import (
+    ack_tag,
+    derive_session_nonce,
+    derive_tenant_key,
+    handshake_payload,
+    prf,
+    prf_stream,
+    verify_ack,
+)
+
+SECRET = "unit-test-secret"
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf(b"k", "a", 1) == prf(b"k", "a", 1)
+
+    def test_key_separates(self):
+        assert prf(b"k1", "a") != prf(b"k2", "a")
+
+    def test_part_boundaries_are_injective(self):
+        # The separator byte keeps ("a", "bc") distinct from ("ab", "c").
+        assert prf(b"k", "a", "bc") != prf(b"k", "ab", "c")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            prf(b"", "a")
+
+    def test_stream_is_counter_mode(self):
+        long = prf_stream(b"k", "tag", blocks=3)
+        assert len(long) == 96
+        # Counter mode: shorter streams are prefixes of longer ones.
+        assert long.startswith(prf_stream(b"k", "tag", blocks=1))
+
+    def test_stream_needs_a_block(self):
+        with pytest.raises(ValueError):
+            prf_stream(b"k", "tag", blocks=0)
+
+
+class TestHierarchy:
+    def test_tenant_keys_are_contained(self):
+        a = derive_tenant_key(SECRET, "tenant-a")
+        b = derive_tenant_key(SECRET, "tenant-b")
+        assert a != b
+        assert len(a) == len(b) == 32
+
+    def test_nonce_is_per_session(self):
+        key = derive_tenant_key(SECRET, "tenant-a")
+        assert derive_session_nonce(key, "s1") != derive_session_nonce(key, "s2")
+
+    def test_ack_round_trip(self):
+        key = derive_tenant_key(SECRET, "tenant-a")
+        nonce = derive_session_nonce(key, "s1")
+        tag = ack_tag(key, nonce)
+        assert verify_ack(key, nonce, tag)
+
+    def test_tampered_ack_fails(self):
+        key = derive_tenant_key(SECRET, "tenant-a")
+        nonce = derive_session_nonce(key, "s1")
+        tag = ack_tag(key, nonce)
+        assert not verify_ack(key, nonce, bytes([tag[0] ^ 1]) + tag[1:])
+
+    def test_ack_is_nonce_bound(self):
+        key = derive_tenant_key(SECRET, "tenant-a")
+        old = derive_session_nonce(key, "old")
+        new = derive_session_nonce(key, "new")
+        # Replaying last call's ack against a fresh nonce is rejected.
+        assert not verify_ack(key, new, ack_tag(key, old))
+
+    def test_handshake_payload_round_trips_the_nonce(self):
+        key = derive_tenant_key(SECRET, "tenant-a")
+        nonce = derive_session_nonce(key, "s1")
+        payload = handshake_payload("s1", nonce)
+        assert payload["session_id"] == "s1"
+        assert bytes.fromhex(payload["nonce"]) == nonce
+        assert all(isinstance(v, str) for v in payload.values())

@@ -1,0 +1,122 @@
+"""Derived challenge schedules: placement, alternation, determinism."""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.protocol.nonce import derive_session_nonce, derive_tenant_key
+from repro.protocol.provision import derive_session_schedules
+from repro.protocol.schedule import ProtocolConfig, derive_schedule
+
+KEY = derive_tenant_key("unit-test-secret", "tenant-a")
+NONCE = derive_session_nonce(KEY, "session-1")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DetectorConfig()
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return ProtocolConfig()
+
+
+class TestDerivation:
+    def test_same_inputs_same_schedule(self, config, protocol):
+        a = derive_schedule(KEY, NONCE, 0, config, protocol)
+        b = derive_schedule(KEY, NONCE, 0, config, protocol)
+        assert a == b
+
+    def test_nonce_changes_everything(self, config, protocol):
+        other = derive_session_nonce(KEY, "session-2")
+        a = derive_schedule(KEY, NONCE, 0, config, protocol)
+        b = derive_schedule(KEY, other, 0, config, protocol)
+        assert a.times != b.times
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            derive_schedule(KEY, NONCE, -1)
+
+    def test_mirrors_session_schedules_helper(self, config, protocol):
+        mirrored = derive_session_schedules(
+            "unit-test-secret", "tenant-a", "session-1", 2, config, protocol
+        )
+        assert mirrored[0] == derive_schedule(KEY, NONCE, 0, config, protocol)
+        assert mirrored[1] == derive_schedule(KEY, NONCE, 1, config, protocol)
+
+
+class TestPlacement:
+    def test_times_stay_in_the_usable_window(self, config, protocol):
+        start = protocol.start_margin_s
+        end = (
+            config.clip_duration_s
+            - config.boundary_guard_s
+            - protocol.end_margin_s
+        )
+        for attempt in range(4):
+            schedule = derive_schedule(KEY, NONCE, attempt, config, protocol)
+            assert len(schedule.challenges) == config.min_challenges
+            for t in schedule.times:
+                assert start <= t <= end
+
+    def test_min_gap_holds(self, config, protocol):
+        for attempt in range(4):
+            times = derive_schedule(KEY, NONCE, attempt, config, protocol).times
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(g >= config.min_gap_s - 1e-9 for g in gaps)
+
+    def test_times_sit_on_the_dyadic_grid(self, config, protocol):
+        for t in derive_schedule(KEY, NONCE, 0, config, protocol).times:
+            assert t * (1 << 20) == int(t * (1 << 20))
+
+    def test_too_many_challenges_do_not_fit(self, protocol):
+        config = DetectorConfig().with_overrides(min_challenges=8, min_gap_s=3.0)
+        with pytest.raises(ValueError):
+            derive_schedule(KEY, NONCE, 0, config, protocol)
+
+
+class TestSpotsAndDeltas:
+    def test_spots_alternate_across_attempt_boundaries(self, config, protocol):
+        """Every consecutive challenge — including the last of one clip to
+        the first of the next — flips to the *other* metering zone, so no
+        challenge is a no-op flip (which would read as undelivered)."""
+        flat = [
+            c.spot
+            for attempt in range(3)
+            for c in derive_schedule(KEY, NONCE, attempt, config, protocol).challenges
+        ]
+        for a, b in zip(flat, flat[1:]):
+            assert a != b
+
+    def test_deltas_in_band_and_half_lux_quantized(self, config, protocol):
+        lo, hi = protocol.delta_range_lux
+        for c in derive_schedule(KEY, NONCE, 0, config, protocol).challenges:
+            assert lo - 0.25 <= c.delta_lux <= hi + 0.25
+            assert c.delta_lux * 2 == int(c.delta_lux * 2)
+
+    def test_fingerprint_is_short_and_stable(self, config, protocol):
+        schedule = derive_schedule(KEY, NONCE, 1, config, protocol)
+        assert schedule.fingerprint() == NONCE.hex()[:12] + "/1"
+
+
+class TestProtocolConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(freshness_window_s=0.0),
+            dict(stale_max_lag_s=1.0, freshness_window_s=2.0),
+            dict(bind_fraction=0.0),
+            dict(bind_fraction=1.5),
+            dict(start_margin_s=-0.1),
+            dict(end_margin_s=-0.1),
+            dict(ledger_depth=-1),
+            dict(commit_attempts=0),
+            dict(delta_range_lux=(0.0, 10.0)),
+            dict(delta_range_lux=(20.0, 10.0)),
+            dict(echo_margin_s=-0.01),
+            dict(replay_residual_cap_s=0.0),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProtocolConfig(**kwargs)

@@ -1,0 +1,138 @@
+"""Challenge-binding protocol riding the multi-tenant service.
+
+The protocol must compose with every existing service guarantee: the
+concurrent run stays byte-identical to its serial replay, replayed and
+stale sessions surface as their own condemned statuses (never as
+accepted ``live``), and the SLO report breaks the new statuses out per
+tenant.
+"""
+
+from repro.obs import Instrumentation
+from repro.protocol import ProtocolConfig
+from repro.service import (
+    ServerConfig,
+    VerificationServer,
+    VirtualScheduler,
+    WorkloadConfig,
+    build_scripts,
+    build_slo_report,
+    make_tenant_bank_provider,
+    run_workload,
+)
+
+from .conftest import WALL_GUARD_S
+
+#: Protocol-heavy mix: every session runs the handshake; replay and
+#: stale roles appear often enough to assert on.  No chaos — statuses
+#: must be attributable to the binding layer, not channel damage.
+MIX = dict(
+    sessions=24,
+    tenants=3,
+    arrival_rate_hz=4.0,
+    attack_fraction=0.0,
+    chaos_fraction=0.0,
+    abandon_fraction=0.0,
+    burst_fraction=0.0,
+    protocol_fraction=1.0,
+    protocol_replay_fraction=0.3,
+    protocol_stale_fraction=0.2,
+    seed=23,
+)
+
+SERVER = dict(max_sessions=64, admission_queue_depth=16)
+
+
+def run_mix(serial: bool, **workload_overrides):
+    workload = WorkloadConfig(**{**MIX, **workload_overrides})
+    scheduler = VirtualScheduler()
+    instr = Instrumentation.enabled(clock=scheduler.clock)
+    server = VerificationServer(
+        scheduler,
+        make_tenant_bank_provider(workload),
+        ServerConfig(protocol=ProtocolConfig(), **SERVER),
+        instrumentation=instr,
+    )
+    result = run_workload(
+        scheduler, server, workload, serial=serial, wall_guard_s=WALL_GUARD_S
+    )
+    return result, instr.snapshot(), server
+
+
+class TestProtocolIdentity:
+    def test_concurrent_equals_serial_with_protocol_sessions(self):
+        concurrent, concurrent_snap, server = run_mix(serial=False)
+        serial, serial_snap, _ = run_mix(serial=True)
+        assert server.peak_active > 1
+        assert concurrent.rejected == serial.rejected == 0
+        assert concurrent.outcomes == serial.outcomes
+        assert concurrent_snap == serial_snap
+
+    def test_zero_protocol_fraction_is_the_legacy_stream(self):
+        """protocol_fraction=0 must not consume any extra RNG draws: the
+        scripts are byte-identical to a pre-protocol workload."""
+        base = {**MIX, "protocol_fraction": 0.0,
+                "protocol_replay_fraction": 0.0, "protocol_stale_fraction": 0.0}
+        scripts = build_scripts(WorkloadConfig(**base))
+        assert all(s.protocol is None for s in scripts)
+
+
+class TestProtocolVerdicts:
+    def test_replay_and_stale_surface_as_their_own_statuses(self):
+        result, _, _ = run_mix(serial=False)
+        by_id = {o.session_id: o for o in result.outcomes}
+        scripts = build_scripts(WorkloadConfig(**MIX))
+        roles = {s.session_id: s.protocol for s in scripts}
+        statuses = {o.status.value for o in result.outcomes}
+        assert "replay" in statuses
+        assert "stale" in statuses
+        for sid, role in roles.items():
+            status = by_id[sid].status.value
+            if role == "replay":
+                # The headline acceptance: a replayed recording is never
+                # accepted as live — and it is *attributed*, not just
+                # lumped in with ordinary fakes.
+                assert status in {"replay", "stale", "attacker"}, (
+                    f"{sid}: replayed session accepted as {status}"
+                )
+            elif role == "stale":
+                assert status in {"stale", "replay", "attacker"}, (
+                    f"{sid}: stale relay accepted as {status}"
+                )
+            elif role == "genuine":
+                assert status not in {"replay", "stale", "attacker"}, (
+                    f"{sid}: genuine protocol session condemned as {status}"
+                )
+
+    def test_protocol_disabled_server_rejects_protocol_sessions(self):
+        workload = WorkloadConfig(**MIX)
+        scheduler = VirtualScheduler()
+        server = VerificationServer(
+            scheduler,
+            make_tenant_bank_provider(workload),
+            ServerConfig(**SERVER),  # no ProtocolConfig
+        )
+        result = run_workload(
+            scheduler, server, workload, wall_guard_s=WALL_GUARD_S
+        )
+        assert result.rejected == MIX["sessions"]
+
+
+class TestProtocolSLO:
+    def test_report_breaks_out_protocol_and_tenants(self):
+        result, snapshot, _ = run_mix(serial=False)
+        report = build_slo_report(snapshot)
+        assert report.protocol_sessions > 0
+        assert sum(report.protocol_bindings.values()) > 0
+        assert "replay" in report.protocol_bindings
+        # Every tenant that finished a session has a status breakdown,
+        # and the per-tenant counts add back up to the totals.
+        assert report.tenant_status
+        total = sum(
+            count
+            for statuses in report.tenant_status.values()
+            for count in statuses.values()
+        )
+        assert total == len(result.outcomes)
+        rendered = "\n".join(report.lines())
+        assert "protocol:" in rendered
+        assert "tenant " in rendered

@@ -74,6 +74,21 @@ class TestParser:
         assert args.no_serial_check is True
         assert args.json == "out.json"
 
+    def test_loadtest_protocol_options(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--protocol", "0.5", "--protocol-replay", "0.3",
+             "--protocol-stale", "0.2"]
+        )
+        assert args.protocol == 0.5  # reprolint: disable=R004
+        assert args.protocol_replay == 0.3  # reprolint: disable=R004
+        assert args.protocol_stale == 0.2  # reprolint: disable=R004
+
+    def test_protocol_defaults(self):
+        args = build_parser().parse_args(["protocol"])
+        assert args.matrix is False
+        assert args.seed == 211
+        assert args.tenant == "tenant-demo"
+
 
 class TestInfo:
     def test_info_prints_paper_constants(self, capsys):
@@ -121,6 +136,14 @@ class TestEndToEnd:
         assert "virtual clock" in out
         assert "admission rate" in out
         assert "task failures: 0" in out
+
+    def test_protocol_demo_prints_all_four_verdicts(self, capsys):
+        assert main(["protocol"]) == 0
+        out = capsys.readouterr().out
+        assert "verify=True" in out
+        assert "verify=False" in out  # the tampered ack is rejected
+        for outcome in ("bound", "replay", "stale", "unbound"):
+            assert f"outcome={outcome}" in out
 
     def test_loadtest_writes_identity_checked_json(self, tmp_path, capsys):
         import json
