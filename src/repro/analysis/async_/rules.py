@@ -27,6 +27,7 @@ class _ConcurrencyRule(GraphRule):
 class ForeignAwaitRule(_ConcurrencyRule):
     id = "R012"
     title = "task-reachable coroutine awaits a non-scheduler primitive"
+    example = "await asyncio.sleep(0.5)  # inside a scheduler task"
     rationale = """The service's deterministic mode only works because the
     virtual driver sees every suspension: a registered task may only suspend
     through scheduler primitives (sleep, park, join, the lock/queue built on
@@ -76,6 +77,7 @@ class ForeignAwaitRule(_ConcurrencyRule):
 class LockOrderInversionRule(_ConcurrencyRule):
     id = "R013"
     title = "lock-order inversion across ServiceLock acquisitions"
+    example = "async with self._b:  # elsewhere: a taken before b"
     rationale = """Two tasks acquiring the same locks in opposite orders
     deadlock the moment their schedules interleave — and under the virtual
     scheduler that interleaving is deterministic, so the hang reproduces
@@ -145,6 +147,7 @@ class LockOrderInversionRule(_ConcurrencyRule):
 class BlockingCallRule(_ConcurrencyRule):
     id = "R014"
     title = "blocking call under a ServiceLock or inside a scheduler task"
+    example = "async with self._lock: results = engine.map(fn, clips)"
     rationale = """time.sleep, file I/O, or a whole ExecutionEngine.map fan-out
     executed while a ServiceLock is held serializes every contending session
     behind wall-clock work; executed inside a scheduler task it freezes the
@@ -206,6 +209,7 @@ class BlockingCallRule(_ConcurrencyRule):
 class UnboundedWaitRule(_ConcurrencyRule):
     id = "R015"
     title = "unbounded wait with no wall_guard_s anywhere up the chain"
+    example = "item = await queue.get()  # no timeout on any caller"
     rationale = """A park/get/join with no timeout only resolves if some other
     task resolves it; when that task died or never ran, the service hangs
     forever.  Scheduler.run's wall_guard_s is the safety net that turns the
@@ -256,6 +260,7 @@ class UnboundedWaitRule(_ConcurrencyRule):
 class SharedStateRaceRule(_ConcurrencyRule):
     id = "R016"
     title = "shared state written from distinct spawn sites with no common lock"
+    example = "self._sessions[sid] = state  # two tasks, no shared lock"
     rationale = """Cooperative tasks interleave at every await: two tasks from
     different spawn sites writing the same object attribute or module global
     with no lock in both writers' may-hold locksets is a check-then-act race

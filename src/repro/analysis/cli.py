@@ -4,9 +4,12 @@ Kept inside the analysis package so ``repro.cli`` only registers the
 subcommand; everything lint-specific (defaults, exit codes, baseline
 handling) lives next to the code it drives.
 
-The whole-program pass (R007-R011 plus the concurrency rules
-R012-R016) is on by default; ``--no-graph`` restores the per-file-only
-behavior and ``--no-async`` keeps the graph pass but skips R012-R016.  ``--changed-only`` is the fast
+The whole-program pass (R007-R011, the concurrency rules R012-R016 and
+the secret-flow taint rules R017-R021) is on by default; ``--no-graph``
+restores the per-file-only behavior, ``--no-async`` keeps the graph
+pass but skips R012-R016, and ``--no-taint`` likewise skips R017-R021.
+``--explain RULE_ID`` prints one rule's rationale, an example finding
+and the suppression syntax.  ``--changed-only`` is the fast
 pre-commit path: per-file rules and findings are restricted to files
 ``git diff --name-only HEAD`` reports as modified, while module
 summaries for the unchanged rest come from the content-hash cache
@@ -34,7 +37,7 @@ from .config import load_lint_config
 from .graph import SummaryCache, dump_dot, dump_json
 from .linter import lint_paths
 from .reporters import render_json, render_text
-from .rulebase import rule_metadata
+from .rulebase import explain_rule, rule_metadata
 
 __all__ = ["add_lint_arguments", "run_lint"]
 
@@ -77,11 +80,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="print the rule table and exit",
     )
     parser.add_argument(
+        "--explain",
+        metavar="RULE_ID",
+        default=None,
+        help="print one rule's rationale, an example finding, and the "
+        "suppression syntax (R001-R021, W001/W002), then exit",
+    )
+    parser.add_argument(
         "--graph",
         dest="graph",
         action="store_true",
         default=True,
-        help="run the whole-program rules R007-R016 (default: on)",
+        help="run the whole-program rules R007-R021 (default: on)",
     )
     parser.add_argument(
         "--no-graph",
@@ -95,6 +105,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         default=True,
         help="skip the concurrency-safety rules R012-R016",
+    )
+    parser.add_argument(
+        "--no-taint",
+        dest="taint_rules",
+        action="store_false",
+        default=True,
+        help="skip the secret-flow taint rules R017-R021",
     )
     parser.add_argument(
         "--dump-graph",
@@ -145,8 +162,22 @@ def _changed_report_paths(cwd: Path) -> set[str] | None:
 def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in rule_metadata():
-            print(f"{rule['id']}  {rule['title']}")
+            print(f"{rule['id']}  [{rule['category']}]  {rule['title']}")
             print(f"      {rule['rationale']}")
+        return 0
+
+    if args.explain is not None:
+        info = explain_rule(args.explain.strip().upper())
+        if info is None:
+            print(f"reprolint: unknown rule id '{args.explain}' "
+                  "(see --list-rules)")
+            return 2
+        print(f"{info['id']}  {info['title']}  [{info['category']}]")
+        print(f"  why       {info['rationale']}")
+        if info["example"]:
+            print(f"  example   {info['example']}")
+        print(f"  suppress  # reprolint: disable={info['id']}  "
+              "(on the reported line, with a justification)")
         return 0
 
     cwd = Path.cwd()
@@ -173,6 +204,7 @@ def run_lint(args: argparse.Namespace) -> int:
             cache=cache,
             only=only,
             async_rules=args.async_rules,
+            taint_rules=args.taint_rules,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}")

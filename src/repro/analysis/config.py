@@ -22,7 +22,111 @@ from __future__ import annotations
 import dataclasses
 from pathlib import Path
 
-__all__ = ["LintConfig", "DEFAULT_LINT_CONFIG", "load_lint_config"]
+__all__ = [
+    "LintConfig",
+    "TaintConfig",
+    "DEFAULT_LINT_CONFIG",
+    "DEFAULT_TAINT_CONFIG",
+    "load_lint_config",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaintConfig:
+    """Parsed ``[tool.reprolint.taint]`` options for R017-R021.
+
+    Three matcher grammars, chosen by shape:
+
+    * a **bare name** (``print``, ``redact``) matches the final callable
+      segment of any call;
+    * a **dotted entry** matches the resolved dotted target — trailing
+      ``.`` is a prefix match (``hashlib.`` hits every hash
+      constructor), otherwise exact or ``.``-suffix match;
+    * ``method@receiver`` matches an attribute call whose receiver text
+      contains the substring (``write@stdout`` hits
+      ``sys.stdout.write``); an empty receiver part (``counter@``)
+      matches any attribute call of that method.
+
+    Name entries in ``source_attrs`` / ``tag_names`` match identifiers
+    case-insensitively after stripping underscores, exactly or as a
+    ``_``-separated suffix (``secret`` hits ``_DEMO_SECRET`` and
+    ``protocol_secret``).
+    """
+
+    #: Identifiers (attributes, parameters, dataclass fields) that ARE
+    #: key material wherever they appear.
+    source_attrs: tuple[str, ...] = (
+        "secret",
+        "protocol_secret",
+        "tenant_key",
+        "session_nonce",
+        "nonce",
+    )
+    #: Callables whose return value is key material regardless of
+    #: arguments (the PRF hierarchy).
+    source_returns: tuple[str, ...] = (
+        "prf",
+        "prf_stream",
+        "derive_tenant_key",
+        "derive_session_nonce",
+    )
+    #: Calls that cap taint at TAG: cryptographic one-way digests whose
+    #: output is emit-safe but still compare-sensitive.
+    sanitizers: tuple[str, ...] = (
+        "hashlib.",
+        "hmac.new",
+        "ack_tag",
+    )
+    #: Calls that clear taint entirely (explicit redaction, and
+    #: value-shape builtins that never echo their argument).
+    redactors: tuple[str, ...] = (
+        "redact",
+        "len",
+        "bool",
+        "isinstance",
+        "type",
+        "id",
+    )
+    #: Identifiers that are TAG-typed by name (emit-safe, but R020
+    #: still demands constant-time comparison).  ``digest`` is
+    #: deliberately absent: content-hash digests (cache keys, finding
+    #: fingerprints) are legitimately compared with ``==``, and a
+    #: digest actually derived from key material is already TAG via
+    #: the sanitizer dataflow.
+    tag_names: tuple[str, ...] = ("tag", "hmac")
+    #: Output sinks for R017: anything the verifier emits where an
+    #: attacker could read it.
+    output_sinks: tuple[str, ...] = (
+        "print",
+        "pprint",
+        "logging.",
+        "json.dump",
+        "json.dumps",
+        "write@stdout",
+        "write@stderr",
+        "debug@log",
+        "info@log",
+        "warning@log",
+        "error@log",
+        "exception@log",
+        "critical@log",
+        "span@trac",
+        "emit@",
+        "counter@",
+        "gauge@",
+        "histogram@",
+    )
+    #: Pickle-boundary sinks for R019: payloads serialized into worker
+    #: processes or shared memory.
+    pickle_sinks: tuple[str, ...] = (
+        "map@engine",
+        "map_batches@engine",
+        "pickle.",
+        "SignalPack",
+    )
+
+
+DEFAULT_TAINT_CONFIG = TaintConfig()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +150,8 @@ class LintConfig:
     )
     #: Per-rule option tables from ``[tool.reprolint.rules.Rxxx]``.
     rule_options: tuple[tuple[str, tuple[tuple[str, tuple[str, ...]], ...]], ...] = ()
+    #: Secret-flow policy from ``[tool.reprolint.taint]`` (R017-R021).
+    taint: TaintConfig = DEFAULT_TAINT_CONFIG
 
     def options_for(self, rule_id: str) -> dict[str, tuple[str, ...]]:
         for rid, options in self.rule_options:
@@ -102,6 +208,38 @@ def load_lint_config(root: str | Path | None = None) -> LintConfig:
         kwargs["scheduler_modules"] = _string_tuple(
             section["scheduler-modules"], "scheduler-modules"
         )
+    taint = section.get("taint")
+    if taint is not None:
+        if not isinstance(taint, dict):
+            raise ValueError("[tool.reprolint.taint] must be a table")
+        taint_kwargs: dict = {}
+        for toml_key, attr in (
+            ("source-attrs", "source_attrs"),
+            ("source-returns", "source_returns"),
+            ("sanitizers", "sanitizers"),
+            ("redactors", "redactors"),
+            ("tag-names", "tag_names"),
+            ("output-sinks", "output_sinks"),
+            ("pickle-sinks", "pickle_sinks"),
+        ):
+            if toml_key in taint:
+                taint_kwargs[attr] = _string_tuple(
+                    taint[toml_key], f"taint.{toml_key}"
+                )
+        unknown = set(taint) - {
+            "source-attrs",
+            "source-returns",
+            "sanitizers",
+            "redactors",
+            "tag-names",
+            "output-sinks",
+            "pickle-sinks",
+        }
+        if unknown:
+            raise ValueError(
+                f"[tool.reprolint.taint] unknown keys: {sorted(unknown)}"
+            )
+        kwargs["taint"] = TaintConfig(**taint_kwargs)
     rules = section.get("rules", {})
     if rules:
         if not isinstance(rules, dict):

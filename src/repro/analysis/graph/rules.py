@@ -63,6 +63,7 @@ def _entry_points(graph: ProgramGraph) -> list[tuple[str, str, str, int]]:
 class TransitiveRandomnessRule(GraphRule):
     id = "R007"
     title = "unseeded randomness reachable from a pool payload or entry point"
+    example = "def jitter(): return random.random()  # called by a task fn"
     rationale = """A task function handed to ExecutionEngine.map (or a run_*
     protocol entry point) must be deterministic given its payload; a helper
     that draws from global RNG state two calls away breaks pool==serial
@@ -94,6 +95,7 @@ class TransitiveRandomnessRule(GraphRule):
 class TransitiveWallClockRule(GraphRule):
     id = "R008"
     title = "transitive wall-clock reachability outside the clock allowlist"
+    example = "def stamp(): return time.time()  # reached from run_experiment"
     rationale = """R002 flags a literal time.time() in the module that imports
     time — but a read laundered through a re-exported alias or a wrapper in
     another module resolves to nothing the per-file pass can see.  This rule
@@ -155,6 +157,7 @@ class TransitiveWallClockRule(GraphRule):
 class UnreachablePublicRule(GraphRule):
     id = "R009"
     title = "public function never referenced from any entry point or test"
+    example = "def legacy_helper(...):  # exported, referenced nowhere"
     rationale = """A public function nobody calls — not the CLI, not a run_*
     protocol, not a test — is untested surface that will silently rot (and
     its determinism contracts go unchecked).  Either wire it to a caller or
@@ -229,6 +232,7 @@ def _symbol_exists(graph: ProgramGraph, dotted: str, depth: int = 0) -> bool | N
 class FacadeDriftRule(GraphRule):
     id = "R010"
     title = "repro.api facade drift"
+    example = "__all__ = [..., 'run_sweep']  # name the facade never re-exports"
     rationale = """The facade is the compatibility promise: every name it
     re-exports must still exist in the owning module, every __all__ entry
     must be bound, and every project re-export must be listed in __all__ —
@@ -309,6 +313,7 @@ class FacadeDriftRule(GraphRule):
 class PoolPayloadPickleRule(GraphRule):
     id = "R011"
     title = "unpicklable object packed into a pool payload"
+    example = "payloads = [(clip, self._lock) for clip in clips]"
     rationale = """ExecutionEngine.map pickles every payload element to the
     worker processes.  An object whose class stores an open file, a lambda,
     or an enabled Instrumentation handle pickles fine in serial tests and

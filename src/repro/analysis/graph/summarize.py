@@ -29,6 +29,13 @@ import dataclasses
 from ..async_.summary import EMPTY_ASYNC_INFO, AsyncInfo, collect_async_info
 from ..context import ModuleContext
 from ..effects import clock_effect, rng_effect
+from ..taint.summary import (
+    EMPTY_TAINT_INFO,
+    DataclassField,
+    TaintInfo,
+    collect_dataclass_fields,
+    collect_taint_info,
+)
 from .symbols import Binding, collect_bindings, module_name_for
 
 __all__ = [
@@ -47,7 +54,9 @@ __all__ = [
 #: Current summary schema; bump to invalidate every cache entry.
 #: v2 added the async/concurrency fields (``AsyncInfo`` per function,
 #: constructor tables per class/module) consumed by R012-R016.
-SUMMARY_VERSION = 2
+#: v3 added the secret-flow fields (``TaintInfo`` per function,
+#: dataclass field tables per class) consumed by R017-R021.
+SUMMARY_VERSION = 3
 
 
 @dataclasses.dataclass(frozen=True)
@@ -184,6 +193,7 @@ class FunctionSummary:
     calls: tuple[CallTarget, ...]
     effects: tuple[Effect, ...]
     async_info: AsyncInfo = EMPTY_ASYNC_INFO
+    taint_info: TaintInfo = EMPTY_TAINT_INFO
 
     def to_dict(self) -> dict:
         out = {
@@ -195,6 +205,8 @@ class FunctionSummary:
         }
         if not self.async_info.is_empty():
             out["async"] = self.async_info.to_dict()
+        if not self.taint_info.is_empty():
+            out["taint"] = self.taint_info.to_dict()
         return out
 
     @staticmethod
@@ -206,6 +218,7 @@ class FunctionSummary:
             calls=tuple(CallTarget.from_dict(c) for c in data["calls"]),
             effects=tuple(Effect.from_dict(e) for e in data["effects"]),
             async_info=AsyncInfo.from_dict(data.get("async", {})),
+            taint_info=TaintInfo.from_dict(data.get("taint", {})),
         )
 
 
@@ -221,9 +234,13 @@ class ClassSummary:
     #: class body — how the lock-set dataflow identifies lock attributes
     #: without baking lock-class names into the cached summary.
     attr_ctors: tuple[tuple[str, CallTarget, bool], ...] = ()
+    #: Annotated fields of a ``@dataclass`` body — R021 checks the
+    #: secret-named ones for ``field(repr=False)``.  Empty for ordinary
+    #: classes.
+    fields: tuple[DataclassField, ...] = ()
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "line": self.line,
             "public": self.public,
@@ -234,6 +251,9 @@ class ClassSummary:
                 for attr, ctor, container in self.attr_ctors
             ],
         }
+        if self.fields:
+            out["fields"] = [f.to_dict() for f in self.fields]
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "ClassSummary":
@@ -246,6 +266,9 @@ class ClassSummary:
             attr_ctors=tuple(
                 (d["attr"], CallTarget.from_dict(d["ctor"]), d["container"])
                 for d in data.get("attr_ctors", ())
+            ),
+            fields=tuple(
+                DataclassField.from_dict(f) for f in data.get("fields", ())
             ),
         )
 
@@ -438,6 +461,11 @@ class _CallableSummarizer:
             assigns=self._assigns,
             cls_name=self.cls_name,
         )
+        taint_info = collect_taint_info(
+            func_node,
+            classify=lambda e: _classify_target(e, self.bindings, self.cls_name),
+            cls_name=self.cls_name,
+        )
         return FunctionSummary(
             qual=qual,
             line=func_node.lineno,
@@ -445,6 +473,7 @@ class _CallableSummarizer:
             calls=tuple(self.calls),
             effects=tuple(self.effects),
             async_info=async_info,
+            taint_info=taint_info,
         )
 
     # -- calls ----------------------------------------------------------
@@ -680,6 +709,7 @@ def summarize_module(ctx: ModuleContext, path: str | None = None) -> ModuleSumma
                 methods=tuple(methods),
                 hazards=tuple(_class_hazards(node, bindings)),
                 attr_ctors=_attr_ctors(node, bindings),
+                fields=collect_dataclass_fields(node),
             )
 
     return ModuleSummary(

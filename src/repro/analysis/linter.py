@@ -11,8 +11,9 @@ of the report.
 With ``graph=True`` the walk additionally builds a per-module summary
 for every file (served from the content-hash :class:`SummaryCache`
 when the bytes are unchanged), assembles the program graph, and runs
-the whole-program rules R007-R011 plus the concurrency rules R012-R016
-(``async_rules=False`` skips the latter) over it.  ``only`` restricts
+the whole-program rules R007-R011, the concurrency rules R012-R016
+(``async_rules=False`` skips them) and the secret-flow rules R017-R021
+(``taint_rules=False`` skips them) over it.  ``only`` restricts
 which files get per-file rule execution and which findings are
 reported — the ``--changed-only`` fast path — while summaries still
 cover the whole tree, because interprocedural analysis is only sound
@@ -31,6 +32,7 @@ from pathlib import Path, PurePath
 
 from .async_.rules import ASYNC_RULE_IDS  # noqa: F401 - import registers R012-R016
 from .config import DEFAULT_LINT_CONFIG, LintConfig
+from .taint.rules import TAINT_RULE_IDS  # noqa: F401 - import registers R017-R021
 from .context import ModuleContext
 from .findings import Finding, fingerprint_findings
 from .graph import (
@@ -159,6 +161,7 @@ def lint_paths(
     metrics=None,
     only: set[str] | None = None,
     async_rules: bool = True,
+    taint_rules: bool = True,
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths``.
 
@@ -167,7 +170,9 @@ def lint_paths(
     is a set of report paths: files outside it are summarized (the
     graph needs the whole program) but get no per-file rule execution
     and contribute no findings.  ``async_rules=False`` (the CLI's
-    ``--no-async``) skips the concurrency rules R012-R016.
+    ``--no-async``) skips the concurrency rules R012-R016;
+    ``taint_rules=False`` (``--no-taint``) skips the secret-flow rules
+    R017-R021.
     """
     config = config if config is not None else DEFAULT_LINT_CONFIG
     files = collect_files(paths)
@@ -236,7 +241,8 @@ def lint_paths(
     graph_rule_classes = [
         rule_cls
         for rule_cls in registered_graph_rules()
-        if async_rules or rule_cls.id not in ASYNC_RULE_IDS
+        if (async_rules or rule_cls.id not in ASYNC_RULE_IDS)
+        and (taint_rules or rule_cls.id not in TAINT_RULE_IDS)
     ]
 
     program_graph: ProgramGraph | None = None

@@ -8,7 +8,10 @@ byte-stable output for identical inputs.  Schema v2 added the
 per hop) behind whole-program findings, empty for per-file rules.
 Schema v3 added ``category`` per finding and per rule-table entry
 ("per-file", "whole-program", "concurrency", "meta" for W001/W002,
-"error" for E000).
+"error" for E000).  Schema v4 added the "taint" category (secret-flow
+rules R017-R021, whose ``evidence`` arrays carry dataflow chains
+rather than call chains) and an ``example`` field per rule-table
+entry.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from .rulebase import rule_category, rule_metadata
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 3
+JSON_SCHEMA_VERSION = 4
 
 
 def render_text(

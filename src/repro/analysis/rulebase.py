@@ -27,6 +27,7 @@ from .findings import Finding
 __all__ = [
     "Rule",
     "GraphRule",
+    "explain_rule",
     "register",
     "register_graph",
     "registered_rules",
@@ -43,6 +44,8 @@ class Rule(ast.NodeVisitor):
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: One-line offending snippet shown by ``repro lint --explain``.
+    example: str = ""
     category: str = "per-file"
 
     def __init__(self, ctx: ModuleContext) -> None:
@@ -84,6 +87,8 @@ class GraphRule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: One-line offending snippet shown by ``repro lint --explain``.
+    example: str = ""
     category: str = "whole-program"
 
     def __init__(self) -> None:
@@ -167,8 +172,8 @@ def rule_category(rule_id: str) -> str:
 
 
 def rule_metadata() -> list[dict[str, str]]:
-    """JSON-friendly rule table (id, title, category, rationale),
-    per-file and graph rules interleaved in id order."""
+    """JSON-friendly rule table (id, title, category, rationale,
+    example), per-file and graph rules interleaved in id order."""
     merged = {**_REGISTRY, **_GRAPH_REGISTRY}
     return [
         {
@@ -176,6 +181,51 @@ def rule_metadata() -> list[dict[str, str]]:
             "title": merged[rule_id].title,
             "category": merged[rule_id].category,
             "rationale": " ".join(merged[rule_id].rationale.split()),
+            "example": merged[rule_id].example,
         }
         for rule_id in sorted(merged)
     ]
+
+
+#: Diagnostics the linter synthesizes outside the registry (suppression
+#: hygiene), described here so ``--explain`` covers every id a report
+#: can carry.
+_META_METADATA: dict[str, dict[str, str]] = {
+    "W001": {
+        "id": "W001",
+        "title": "suppression silences nothing",
+        "category": "meta",
+        "rationale": (
+            "A '# reprolint: disable=' comment whose rule no longer fires "
+            "on that line is dead weight today and camouflage for a real "
+            "finding tomorrow — delete it."
+        ),
+        "example": "x = 1.0  # reprolint: disable=R004  <- no comparison here",
+    },
+    "W002": {
+        "id": "W002",
+        "title": "unknown rule id in a suppression or config table",
+        "category": "meta",
+        "rationale": (
+            "A suppression (or [tool.reprolint.rules.*] table) naming an id "
+            "no rule has silences nothing and usually means a typo is "
+            "letting the intended rule fire elsewhere."
+        ),
+        "example": "tag = compute()  # reprolint: disable=R099",
+    },
+}
+
+
+def explain_rule(rule_id: str) -> dict[str, str] | None:
+    """Full metadata for one rule id (registered or meta), or None."""
+    merged = {**_REGISTRY, **_GRAPH_REGISTRY}
+    if rule_id in merged:
+        cls = merged[rule_id]
+        return {
+            "id": rule_id,
+            "title": cls.title,
+            "category": cls.category,
+            "rationale": " ".join(cls.rationale.split()),
+            "example": cls.example,
+        }
+    return _META_METADATA.get(rule_id)

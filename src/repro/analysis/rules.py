@@ -45,6 +45,7 @@ def _root_name(node: ast.expr) -> str | None:
 class UnseededRandomnessRule(Rule):
     id = "R001"
     title = "unseeded global randomness"
+    example = "values = [random.random() for _ in range(count)]"
     rationale = """Module-level np.random.* / random.* calls draw from hidden
     global state, so results depend on import order and worker scheduling —
     breaking the engine's pool==serial bit-identity.  Construct a generator
@@ -81,6 +82,7 @@ class UnseededRandomnessRule(Rule):
 class WallClockRule(Rule):
     id = "R002"
     title = "wall-clock read outside the blessed clock sites"
+    example = "started = time.time()"
     rationale = """time.time / perf_counter / datetime.now make results depend
     on when the code ran.  Simulated time must come from the session clock;
     the blessed real-clock sites are the clock abstraction in obs/clock.py
@@ -114,6 +116,7 @@ class WallClockRule(Rule):
 class UnpicklableTaskRule(Rule):
     id = "R003"
     title = "unpicklable payload handed to ExecutionEngine.map"
+    example = "engine.map(lambda clip: grade(clip), clips)"
     rationale = """ExecutionEngine.map sends the task function to worker
     processes by pickling; lambdas, closures and local defs fail there —
     but only once jobs > 1, so the defect hides in serial test runs.
@@ -151,6 +154,7 @@ class UnpicklableTaskRule(Rule):
 class FloatEqualityRule(Rule):
     id = "R004"
     title = "exact float equality comparison"
+    example = "if report.lag_s == 0.45:"
     rationale = """== / != against a float literal is only meaningful for
     values set verbatim; anything that went through the signal chain carries
     rounding that a refactor (e.g. the cumsum-vectorized moving windows) may
@@ -251,6 +255,7 @@ class FloatEqualityRule(Rule):
 class MutableDefaultRule(Rule):
     id = "R005"
     title = "mutable default argument / dataclass field default"
+    example = "def collect(out=[]):"
     rationale = """A mutable default is created once and shared across calls
     (or across dataclass instances), so one caller's mutation leaks into the
     next — state the engine's task isolation assumes cannot exist.  Use None
@@ -353,6 +358,7 @@ class MutableDefaultRule(Rule):
 class ConfigContractRule(Rule):
     id = "R006"
     title = "DetectorConfig contract violation"
+    example = "tuned = config.replace(clip_duration_s=12.0)"
     rationale = """DetectorConfig.replace is deprecated (with_overrides is the
     validated path), and config field names written as strings or keywords
     must exist on the dataclass — the static twin of with_overrides' runtime

@@ -1,0 +1,36 @@
+"""Shared secret-redaction helper.
+
+Everything the verifier emits — CLI text, logs, SLO reports, traces —
+is attacker-readable under the paper's threat model, so key material
+(the deployment secret, tenant keys, session nonces) must never reach
+an output sink in the clear.  :func:`redact` is the one sanctioned way
+to *mention* a secret in output: it renders a short digest-truncated
+token that is deterministic (the same secret always redacts to the
+same token, so log lines stay correlatable) but non-invertible.
+
+The secret-flow linter (R017-R021, ``repro lint``) knows this function
+by name as a redactor: a value routed through ``redact()`` is clean at
+every downstream sink.  That trust is exactly why nothing else should
+be named ``redact``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["redact"]
+
+
+def redact(value: object, width: int = 8) -> str:
+    """A printable stand-in for secret material.
+
+    ``width`` hex characters of a SHA-256 digest, bracketed so redacted
+    output is visually unmistakable: ``<redacted:9f86d081>``.
+    """
+    if isinstance(value, bytes):
+        raw = value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8", "replace")
+    else:
+        raw = repr(value).encode("utf-8", "replace")
+    return f"<redacted:{hashlib.sha256(raw).hexdigest()[:width]}>"

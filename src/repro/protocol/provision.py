@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..core.config import DetectorConfig
+from ..core.redact import redact
 from ..obs.instrument import Instrumentation
 from .commitment import ChallengeCommitment
 from .gate import ProtocolGate
@@ -108,3 +109,12 @@ class ProtocolProvisioner:
     def ledger_size(self, tenant_id: str) -> int:
         """Sessions currently remembered for one tenant."""
         return len(self._ledger.get(tenant_id, ()))
+
+    def __repr__(self) -> str:
+        # The deployment secret and every derived tenant key live on
+        # this object; the default repr would spill them into any log
+        # line that formats the provisioner.
+        return (
+            f"ProtocolProvisioner(secret={redact(self.secret)}, "
+            f"tenants={len(self._tenant_keys)})"
+        )

@@ -20,6 +20,7 @@ the challenges as distinct peaks.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 from ..core.config import DetectorConfig
 from .nonce import prf, prf_stream
@@ -162,7 +163,10 @@ class DerivedChallenge:
 class DerivedSchedule:
     """One clip's challenge schedule, bound to ``(nonce, attempt)``."""
 
-    nonce: bytes
+    #: The raw session nonce is key material: it never renders in the
+    #: default __repr__ (R021) and must not be emitted or compared
+    #: non-constant-time downstream.
+    nonce: bytes = dataclasses.field(repr=False)
     attempt_index: int
     clip_duration_s: float
     challenges: tuple[DerivedChallenge, ...]
@@ -172,8 +176,22 @@ class DerivedSchedule:
         return tuple(c.time_s for c in self.challenges)
 
     def fingerprint(self) -> str:
-        """Short stable identifier for logs and CLI output."""
-        return self.nonce.hex()[:12] + f"/{self.attempt_index}"
+        """Short stable identifier for logs and CLI output.
+
+        Digest-truncated over the *public* challenge plan only (times,
+        spots, deltas, clip duration, attempt index) — the plan is what
+        the prover receives anyway, so the fingerprint reveals nothing
+        about the nonce that derived it.  The old nonce-prefix form was
+        key-recoverable from ``repro protocol`` output.
+        """
+        material = "|".join(
+            f"{c.time_s:.6f}:{c.spot}:{c.delta_lux:.6f}"
+            for c in self.challenges
+        )
+        digest = hashlib.sha256(
+            f"{material}|{self.clip_duration_s:.6f}|{self.attempt_index}".encode()
+        ).hexdigest()
+        return digest[:12] + f"/{self.attempt_index}"
 
 
 def _uniforms(key: bytes, nonce: bytes, attempt_index: int, count: int) -> list[float]:

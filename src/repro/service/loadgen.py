@@ -94,8 +94,11 @@ class WorkloadConfig:
     protocol_replay_fraction: float = 0.0
     protocol_stale_fraction: float = 0.0
     #: Must match the server's ``protocol_secret`` — the workload mirrors
-    #: the prover side of the keyed derivation.
-    protocol_secret: str = "repro-deployment-secret"
+    #: the prover side of the keyed derivation.  repr=False for the same
+    #: reason as ServerConfig: workload configs get logged whole (R021).
+    protocol_secret: str = dataclasses.field(
+        default="repro-deployment-secret", repr=False
+    )
     seed: int = 20260808
     fault_spec: FaultSpec = dataclasses.field(
         default_factory=lambda: FaultSpec(

@@ -80,8 +80,11 @@ class ServerConfig:
     #: challenge gate to every session submitted with ``protocol=True``.
     protocol: ProtocolConfig | None = None
     #: Deployment secret the key hierarchy hangs off.  Only consulted
-    #: when ``protocol`` is set.
-    protocol_secret: str = "repro-deployment-secret"
+    #: when ``protocol`` is set; repr=False keeps it out of the default
+    #: __repr__ (config objects get logged whole — R021).
+    protocol_secret: str = dataclasses.field(
+        default="repro-deployment-secret", repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:

@@ -59,7 +59,7 @@ class TestJsonReport:
         target = write_fixture(tmp_path, "R002")
         assert main(["lint", str(target), "--format", "json"]) == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["version"] == 3
+        assert report["version"] == 4
         assert report["counts"]["new"] == 1
         (finding,) = report["findings"]
         assert finding["rule"] == "R002"
@@ -86,3 +86,43 @@ class TestListRules:
             assert rule_id in out
         for rule_id in ("R012", "R013", "R014", "R015", "R016"):
             assert rule_id in out
+        for rule_id in ("R017", "R018", "R019", "R020", "R021"):
+            assert rule_id in out
+
+
+class TestExplain:
+    @pytest.mark.parametrize(
+        "rule_id",
+        [f"R{n:03d}" for n in range(1, 22)] + ["W001", "W002"],
+    )
+    def test_every_rule_id_explains(self, rule_id, capsys):
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert rule_id in out
+        assert f"disable={rule_id}" in out  # the suppression syntax
+
+    def test_lowercase_id_is_accepted(self, capsys):
+        assert main(["lint", "--explain", "r017"]) == 0
+        assert "R017" in capsys.readouterr().out
+
+    def test_unknown_id_exits_two(self, capsys):
+        assert main(["lint", "--explain", "R099"]) == 2
+        assert "unknown rule id" in capsys.readouterr().out
+
+    def test_taint_explanations_carry_an_example(self, capsys):
+        main(["lint", "--explain", "R020"])
+        out = capsys.readouterr().out
+        assert "example" in out
+        assert "compare_digest" in out
+
+
+class TestNoTaintFlag:
+    def test_no_taint_skips_the_secret_flow_pass(self, tmp_path, capsys):
+        target = tmp_path / "leak.py"
+        target.write_text(
+            'def banner(secret):\n    print(f"key {secret}")\n'
+        )
+        assert main(["lint", str(target)]) == 1
+        assert "R017" in capsys.readouterr().out
+        assert main(["lint", str(target), "--no-taint"]) == 0
+        assert "clean" in capsys.readouterr().out

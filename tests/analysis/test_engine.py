@@ -135,17 +135,27 @@ class TestRegistry:
             "R014",
             "R015",
             "R016",
+            "R017",
+            "R018",
+            "R019",
+            "R020",
+            "R021",
         ]
 
     def test_metadata_is_complete(self):
         ids = [rule["id"] for rule in rule_metadata()]
         assert ids == sorted(ids)
-        assert {"R001", "R007", "R011", "R012", "R016"} <= set(ids)
+        assert {"R001", "R007", "R011", "R012", "R016", "R017", "R021"} <= set(ids)
         for rule in rule_metadata():
             assert rule["id"].startswith("R")
             assert rule["title"]
             assert rule["rationale"]
-            assert rule["category"] in ("per-file", "whole-program", "concurrency")
+            assert rule["category"] in (
+                "per-file",
+                "whole-program",
+                "concurrency",
+                "taint",
+            )
 
 
 class TestParsing:

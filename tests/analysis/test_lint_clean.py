@@ -43,6 +43,29 @@ def test_tree_is_clean_under_whole_program_rules():
     assert len(result.graph.nodes) > 200
 
 
+def test_taint_stage_really_ran_on_the_clean_tree():
+    """Zero R017-R021 findings must mean the secret-flow pass looked
+    and found nothing — not that it was skipped.  The taint model built
+    for the full graph must classify real key material in the protocol
+    layer as secret-bearing."""
+    from repro.analysis.taint.model import SECRET_LEVEL, taint_model
+
+    result = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"],
+        relative_to=REPO_ROOT,
+        graph=True,
+        config=CONFIG,
+    )
+    assert result.findings == []
+    model = taint_model(result.graph)
+    secret_bearing = [
+        node_id
+        for node_id in model.node_ids()
+        if any(v.level == SECRET_LEVEL for v in model.env(node_id).values())
+    ]
+    assert any("repro.protocol" in node_id for node_id in secret_bearing)
+
+
 def test_checked_in_baseline_is_empty():
     baseline = REPO_ROOT / "reprolint-baseline.json"
     payload = json.loads(baseline.read_text())

@@ -1,0 +1,110 @@
+"""Summary-cache behavior when only a callee's *taint* summary changes.
+
+R017-R021 read per-function ``TaintInfo`` out of the same content-hash
+cached module summaries every other graph rule uses.  The load-bearing
+properties: a cached caller composes with a callee whose return just
+became secret-bearing, and a cache written by a pre-taint summarizer
+(older ``SUMMARY_VERSION``) is discarded wholesale rather than served
+with empty taint records.
+"""
+
+import json
+
+from repro.analysis.graph import SummaryCache
+from repro.analysis.graph.summarize import SUMMARY_VERSION
+from repro.obs.metrics import MetricsRegistry
+
+from .test_graph import graph_lint, write_tree
+
+FILES = {
+    "keys.py": """
+        def issue(vault):
+            return vault.label
+        """,
+    "report.py": """
+        from keys import issue
+
+        def banner(vault):
+            print(f"issued {issue(vault)}")
+        """,
+}
+
+#: The same callee after an edit that makes its return secret-bearing.
+LEAKY_CALLEE = "def issue(vault):\n    secret = vault.secret\n    return secret\n"
+
+
+def counts(registry):
+    snapshot = registry.snapshot()
+    return (
+        snapshot.counter_value("reprograph_summaries_total", result="hit"),
+        snapshot.counter_value("reprograph_summaries_total", result="miss"),
+    )
+
+
+def r017(result):
+    return sorted(
+        (f.path, f.line, f.evidence)
+        for f in result.findings
+        if f.rule == "R017"
+    )
+
+
+class TestTaintSummaryInvalidation:
+    def test_callee_edit_re_summarizes_only_the_callee(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cache_file = tmp_path / "cache" / "summaries.json"
+
+        cold = MetricsRegistry()
+        graph_lint(tmp_path, cache=SummaryCache(cache_file), metrics=cold)
+        assert counts(cold) == (0.0, 2.0)
+
+        (tmp_path / "keys.py").write_text(LEAKY_CALLEE)
+        warm = MetricsRegistry()
+        graph_lint(tmp_path, cache=SummaryCache(cache_file), metrics=warm)
+        assert counts(warm) == (1.0, 1.0)
+
+    def test_cached_caller_sees_the_callee_change(self, tmp_path):
+        """The sink lives in report.py (cached); the return that just
+        became secret lives in keys.py (fresh).  R017 needs both, so a
+        stale taint summary would hide the leak."""
+        write_tree(tmp_path, FILES)
+        cache_file = tmp_path / "cache" / "summaries.json"
+
+        before = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        assert r017(before) == []
+
+        (tmp_path / "keys.py").write_text(LEAKY_CALLEE)
+        cached = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        fresh = graph_lint(tmp_path, cache=SummaryCache(tmp_path / "cold.json"))
+        assert r017(cached) and r017(cached) == r017(fresh)
+
+    def test_taint_summary_roundtrips_through_the_cache(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cache_file = tmp_path / "cache" / "summaries.json"
+        fresh = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        warm = graph_lint(tmp_path, cache=SummaryCache(cache_file))
+        for module in ("keys", "report"):
+            fresh_fns = fresh.graph.modules[module].functions
+            warm_fns = warm.graph.modules[module].functions
+            assert {q: f.taint_info for q, f in fresh_fns.items()} == {
+                q: f.taint_info for q, f in warm_fns.items()
+            }
+
+    def test_pre_taint_cache_is_discarded_by_version(self, tmp_path):
+        """A cache written before taint collection existed carries no
+        TaintInfo; serving it would silently blind R017-R021.  The
+        summary-version stamp forces a full re-summarize instead."""
+        write_tree(tmp_path, {"keys.py": LEAKY_CALLEE, "report.py": FILES["report.py"]})
+        cache_file = tmp_path / "cache" / "summaries.json"
+        graph_lint(tmp_path, cache=SummaryCache(cache_file))
+
+        document = json.loads(cache_file.read_text())
+        document["summary_version"] = SUMMARY_VERSION - 1
+        cache_file.write_text(json.dumps(document))
+
+        stale = MetricsRegistry()
+        result = graph_lint(
+            tmp_path, cache=SummaryCache(cache_file), metrics=stale
+        )
+        assert counts(stale) == (0.0, 2.0)  # nothing served from the cache
+        assert r017(result)

@@ -96,7 +96,18 @@ class TestSpotsAndDeltas:
 
     def test_fingerprint_is_short_and_stable(self, config, protocol):
         schedule = derive_schedule(KEY, NONCE, 1, config, protocol)
-        assert schedule.fingerprint() == NONCE.hex()[:12] + "/1"
+        fp = schedule.fingerprint()
+        assert fp == derive_schedule(KEY, NONCE, 1, config, protocol).fingerprint()
+        digest, _, attempt = fp.partition("/")
+        assert len(digest) == 12 and attempt == "1"
+        assert int(digest, 16) >= 0
+
+    def test_fingerprint_reveals_nothing_about_the_nonce(self, config, protocol):
+        """The fingerprint is derived from the public challenge plan
+        only — the old form leaked a nonce prefix into CLI output."""
+        schedule = derive_schedule(KEY, NONCE, 1, config, protocol)
+        assert NONCE.hex()[:12] not in schedule.fingerprint()
+        assert NONCE.hex() not in repr(schedule)
 
 
 class TestProtocolConfigValidation:
